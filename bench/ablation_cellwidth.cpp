@@ -1,0 +1,41 @@
+// Ablation of FDBSCAN-DenseBox's grid cell width (§4.2 fixes it at
+// eps/sqrt(d), the largest width whose cell diameter stays below eps).
+// Smaller factors shrink dense cells: fewer points qualify as
+// "in a dense cell" (weakening the optimization) but the boxes prune
+// traversals more tightly. The paper's choice should win or tie across
+// datasets.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    const Parameters params{dataset.minpts_sweep_eps, 32};
+    for (float factor : {0.25f, 0.5f, 0.75f, 1.0f}) {
+      Options options;
+      options.densebox_cell_width_factor = factor;
+      char label[32];
+      std::snprintf(label, sizeof(label), "width_factor=%.2f", factor);
+      register_run("ablation_cellwidth/" + dataset.name + "/" + label,
+                   [=](benchmark::State&) {
+                     return fdbscan_densebox(*points, params, options);
+                   });
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

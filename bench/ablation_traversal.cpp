@@ -1,0 +1,51 @@
+// Ablation of §4.1's two traversal optimizations:
+//   * masked ("half") traversal in the main phase — processes each
+//     neighbor pair once instead of twice;
+//   * early exit in the preprocessing phase — stops counting at minpts
+//     neighbors instead of computing the full |N_eps(x)|.
+// Compare wall time and (decisively) the dist_comps counters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/fdbscan.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    const Parameters params{dataset.minpts_sweep_eps, 32};
+    const struct {
+      const char* name;
+      bool masked;
+      bool early_exit;
+    } variants[] = {
+        {"baseline_no_opts", false, false},
+        {"masked_only", true, false},
+        {"early_exit_only", false, true},
+        {"both_opts", true, true},
+    };
+    for (const auto& v : variants) {
+      Options options;
+      options.masked_traversal = v.masked;
+      options.early_exit = v.early_exit;
+      register_run(
+          "ablation_traversal/" + dataset.name + "/" + v.name,
+          [=](benchmark::State&) {
+            return fdbscan::fdbscan(*points, params, options);
+          });
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

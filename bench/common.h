@@ -1,0 +1,107 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Every bench registers one google-benchmark entry per (dataset,
+// parameter, algorithm) point of the corresponding paper figure and runs
+// it exactly once (Iterations(1)): these are end-to-end clustering runs,
+// not microbenchmarks. Counters attached to each entry carry the series
+// the paper plots plus the architecture-neutral work counts (DESIGN.md
+// §6 explains why wall-clock alone does not transfer from a V100 to this
+// CPU substrate).
+//
+// Environment knobs:
+//   FDBSCAN_BENCH_SCALE      multiplies every problem size (default 1).
+//   FDBSCAN_BENCH_DEVICE_MB  simulated device memory for G-DBSCAN
+//                            (default 384, chosen so the OOM points of
+//                            Fig. 4(h) appear at the largest G-DBSCAN
+//                            sweep sizes, as they do on the paper's
+//                            16 GB V100 at its much larger scale).
+//   FDBSCAN_NUM_THREADS      worker threads (default: hardware).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/clustering.h"
+#include "data/generators.h"
+
+namespace fdbscan::bench {
+
+inline double scale() {
+  if (const char* env = std::getenv("FDBSCAN_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+inline std::int64_t scaled(std::int64_t n) {
+  return std::max<std::int64_t>(64, static_cast<std::int64_t>(
+                                        static_cast<double>(n) * scale()));
+}
+
+inline std::size_t device_memory_bytes() {
+  std::size_t mb = 384;
+  if (const char* env = std::getenv("FDBSCAN_BENCH_DEVICE_MB")) {
+    const long v = std::atol(env);
+    if (v > 0) mb = static_cast<std::size_t>(v);
+  }
+  return mb * 1024 * 1024;
+}
+
+/// Cosmology sample at the paper's number density (16M particles per
+/// 64^3 box): the box shrinks with n so that eps = 0.042 keeps its
+/// physical meaning at any sample size (DESIGN.md §2).
+inline std::vector<Point3> cosmology(std::int64_t n, std::uint64_t seed = 7) {
+  data::CosmologyConfig config;
+  config.box_size = 64.0f * std::cbrt(static_cast<float>(n) / 16e6f);
+  // Halo count scales with volume so the halo mass function (and with it
+  // the dense-cell fractions of Fig. 6/7) is size-independent.
+  config.num_halos = std::max<std::int32_t>(
+      20, static_cast<std::int32_t>(400.0f * static_cast<float>(n) / 16e6f));
+  return data::hacc_like(n, seed, config);
+}
+
+/// Attaches the standard counters of a clustering run to a benchmark
+/// entry: cluster/noise counts, work counters, memory, dense-cell stats.
+inline void report(benchmark::State& state, const Clustering& result) {
+  state.counters["clusters"] = static_cast<double>(result.num_clusters);
+  state.counters["noise"] = static_cast<double>(result.num_noise());
+  state.counters["dist_comps"] =
+      static_cast<double>(result.distance_computations);
+  if (result.index_nodes_visited > 0) {
+    state.counters["nodes_visited"] =
+        static_cast<double>(result.index_nodes_visited);
+  }
+  if (result.peak_memory_bytes > 0) {
+    state.counters["peak_MB"] =
+        static_cast<double>(result.peak_memory_bytes) / (1024.0 * 1024.0);
+  }
+  if (result.num_dense_cells > 0) {
+    state.counters["dense_cells"] = static_cast<double>(result.num_dense_cells);
+    state.counters["dense_pts_pct"] =
+        100.0 * static_cast<double>(result.points_in_dense_cells) /
+        static_cast<double>(result.labels.size());
+  }
+}
+
+/// Registers a single-shot benchmark running `fn` (returning a
+/// Clustering) once per entry.
+template <class Fn>
+void register_run(const std::string& name, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   Clustering result = fn(state);
+                                   benchmark::DoNotOptimize(result);
+                                   report(state, result);
+                                 }
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace fdbscan::bench

@@ -1,0 +1,39 @@
+// The three 2-D evaluation datasets of §5.1 with their Fig. 4 parameter
+// choices, shared by the fig4_* benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "geometry/point.h"
+
+namespace fdbscan::bench {
+
+struct Dataset2D {
+  std::string name;
+  std::vector<Point2> (*generate)(std::int64_t, std::uint64_t);
+  // Fig. 4(a-c): fixed eps for the minpts sweep, and the sweep itself
+  // (bracketing each dataset's fixed minpts from the other panels, as
+  // the paper's ranges bracket the regime change from few large to many
+  // small clusters).
+  float minpts_sweep_eps;
+  std::int32_t minpts_sweep[5];
+  // Fig. 4(d-f): fixed minpts for the eps sweep.
+  std::int32_t eps_sweep_minpts;
+  // Fig. 4(g-i): fixed (minpts, eps) for the n sweep.
+  std::int32_t nsweep_minpts;
+  float nsweep_eps;
+};
+
+inline const Dataset2D kDatasets2D[3] = {
+    {"ngsim", data::ngsim_like, 0.005f, {50, 100, 200, 350, 500}, 500, 500,
+     0.0025f},
+    {"portotaxi", data::porto_taxi_like, 0.01f, {5, 10, 20, 50, 100}, 50,
+     1000, 0.05f},
+    {"3droad", data::road_network_like, 0.08f, {12, 25, 50, 100, 200}, 100,
+     100, 0.01f},
+};
+
+}  // namespace fdbscan::bench

@@ -1,0 +1,53 @@
+// Fig. 4(d)(e)(f): impact of eps on execution time; n = 16384, minpts
+// fixed per dataset (500 / 50 / 100). Sweeps two octaves below and above
+// each dataset's Fig. 4(a-c) base radius.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/gdbscan.h"
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    for (float factor : {0.25f, 0.5f, 1.0f, 2.0f, 4.0f}) {
+      const float eps = dataset.minpts_sweep_eps * factor;
+      const Parameters params{eps, dataset.eps_sweep_minpts};
+      char eps_str[32];
+      std::snprintf(eps_str, sizeof(eps_str), "%g", eps);
+      const std::string suffix = dataset.name + "/eps=" + eps_str;
+      register_run("fig4_eps/cuda-dclust/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::cuda_dclust(*points, params);
+                   });
+      register_run("fig4_eps/g-dbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::gdbscan(*points, params);
+                   });
+      register_run("fig4_eps/fdbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan::fdbscan(*points, params);
+                   });
+      register_run("fig4_eps/fdbscan-densebox/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan_densebox(*points, params);
+                   });
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Fig. 4(a)(b)(c): impact of minpts on execution time for the four GPU
+// algorithms on the three 2-D datasets; n = 16384, eps fixed per dataset
+// (0.005 / 0.01 / 0.08). The minpts range spans the few-large-clusters to
+// many-small-clusters regimes, as in the paper.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/gdbscan.h"
+#include "baselines/mr_scan.h"
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    for (std::int32_t minpts : dataset.minpts_sweep) {
+      const Parameters params{dataset.minpts_sweep_eps, minpts};
+      const std::string suffix =
+          dataset.name + "/minpts=" + std::to_string(minpts);
+      register_run("fig4_minpts/cuda-dclust/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::cuda_dclust(*points, params);
+                   });
+      register_run("fig4_minpts/g-dbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::gdbscan(*points, params);
+                   });
+      register_run("fig4_minpts/fdbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan::fdbscan(*points, params);
+                   });
+      register_run("fig4_minpts/fdbscan-densebox/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan_densebox(*points, params);
+                   });
+      // Extra series beyond the paper's four: the Mr. Scan-style
+      // core-first grid algorithm (§2.2).
+      register_run("fig4_minpts/mr-scan/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::mr_scan(*points, params);
+                   });
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

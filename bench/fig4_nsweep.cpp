@@ -1,0 +1,71 @@
+// Fig. 4(g)(h)(i): impact of the number of samples (log-log in the
+// paper); (minpts, eps) fixed per dataset at (500, 0.0025) / (1000, 0.05)
+// / (100, 0.01). G-DBSCAN runs against the simulated device-memory
+// budget (FDBSCAN_BENCH_DEVICE_MB, default 2 GiB): entries that exceed it
+// are reported as OOM errors — the paper's missing data points in (h).
+//
+// G-DBSCAN's O(n^2) graph construction makes the largest sizes very slow
+// on one CPU core; set FDBSCAN_BENCH_FULL=1 to run it past 32768 points.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/gdbscan.h"
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+#include "exec/memory_tracker.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+bool full_sweep() {
+  const char* env = std::getenv("FDBSCAN_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+void register_all() {
+  const bool full = full_sweep();
+  for (const auto& dataset : kDatasets2D) {
+    for (std::int64_t base_n : {8192, 16384, 32768, 65536, 131072}) {
+      const std::int64_t n = scaled(base_n);
+      const auto points =
+          std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+      const Parameters params{dataset.nsweep_eps, dataset.nsweep_minpts};
+      const std::string suffix = dataset.name + "/n=" + std::to_string(n);
+      register_run("fig4_nsweep/cuda-dclust/" + suffix,
+                   [=](benchmark::State&) {
+                     return baselines::cuda_dclust(*points, params);
+                   });
+      if (base_n <= 32768 || full) {
+        register_run("fig4_nsweep/g-dbscan/" + suffix,
+                     [=](benchmark::State& state) -> Clustering {
+                       exec::MemoryTracker device(device_memory_bytes());
+                       try {
+                         return baselines::gdbscan(*points, params, &device);
+                       } catch (const exec::OutOfDeviceMemory& oom) {
+                         state.SkipWithError(oom.what());
+                         return {};
+                       }
+                     });
+      }
+      register_run("fig4_nsweep/fdbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan::fdbscan(*points, params);
+                   });
+      register_run("fig4_nsweep/fdbscan-densebox/" + suffix,
+                   [=](benchmark::State&) {
+                     return fdbscan_densebox(*points, params);
+                   });
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Fig. 6: impact of minpts on execution time for the 3-D cosmology
+// problem at eps = 0.042 (the physically meaningful linking length).
+// FDBSCAN vs FDBSCAN-DenseBox; the paper's observations to reproduce:
+// similar at low minpts, FDBSCAN clearly faster at large minpts as the
+// dense-cell population vanishes (13% of points at minpts = 5, <2% at
+// 50, none above ~100-200) and DenseBox pays grid+mixed-tree overhead
+// for nothing.
+//
+// The sample is density-matched to the paper's 36M-particle snapshot
+// (DESIGN.md §2); default 250k points, scaled by FDBSCAN_BENCH_SCALE.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(250000);
+  const auto points =
+      std::make_shared<const std::vector<Point3>>(cosmology(n));
+  for (std::int32_t minpts : {2, 5, 10, 20, 50, 100, 200}) {
+    const Parameters params{0.042f, minpts};
+    const std::string suffix = "minpts=" + std::to_string(minpts);
+    register_run("fig6_cosmo/fdbscan/" + suffix, [=](benchmark::State&) {
+      return fdbscan::fdbscan(*points, params);
+    });
+    register_run("fig6_cosmo/fdbscan-densebox/" + suffix,
+                 [=](benchmark::State&) {
+                   return fdbscan_densebox(*points, params);
+                 });
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

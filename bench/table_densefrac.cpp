@@ -1,0 +1,57 @@
+// §5.1/§5.2 dense-cell population statistics:
+//   * 2-D road datasets: >95% of points in dense cells at the Fig. 4
+//     parameters, "even for the largest values of minpts";
+//   * 3-D cosmology: ~13% at minpts = 5, <2% at 50, none above ~100-200
+//     (eps = 0.042), and ~91% at eps = 1.0.
+// Each entry reports the dense-cell count and point percentage via the
+// dense_pts_pct counter.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    for (std::int32_t minpts :
+         {dataset.minpts_sweep[0], dataset.minpts_sweep[2],
+          dataset.minpts_sweep[4]}) {
+      const Parameters params{dataset.minpts_sweep_eps, minpts};
+      register_run("table_densefrac/2d/" + dataset.name +
+                       "/minpts=" + std::to_string(minpts),
+                   [=](benchmark::State&) {
+                     return fdbscan_densebox(*points, params);
+                   });
+    }
+  }
+
+  const std::int64_t n3 = scaled(250000);
+  const auto cosmo =
+      std::make_shared<const std::vector<Point3>>(cosmology(n3));
+  for (std::int32_t minpts : {5, 50, 200}) {
+    register_run("table_densefrac/cosmo/eps=0.042/minpts=" +
+                     std::to_string(minpts),
+                 [=](benchmark::State&) {
+                   return fdbscan_densebox(*cosmo,
+                                           Parameters{0.042f, minpts});
+                 });
+  }
+  register_run("table_densefrac/cosmo/eps=1.0/minpts=5",
+               [=](benchmark::State&) {
+                 return fdbscan_densebox(*cosmo, Parameters{1.0f, 5});
+               });
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

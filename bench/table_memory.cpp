@@ -1,0 +1,93 @@
+// §5.1 memory comparison: G-DBSCAN stores the full adjacency graph (the
+// [32] study measured 166x CUDA-DClust's footprint; Fig. 4(h) shows it
+// running out of 16 GB at the largest PortoTaxi sizes), while the
+// framework of §3 keeps memory linear in n. Each entry reports peak
+// auxiliary device bytes; the *_ratio entries report G-DBSCAN's multiple
+// over FDBSCAN at the same configuration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/gdbscan.h"
+#include "baselines/hybrid_gowanlock.h"
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+#include "exec/memory_tracker.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    // The eps sweep stresses the edge count: memory of the adjacency
+    // graph grows with the neighborhood sizes while the tree algorithms
+    // stay flat.
+    for (float factor : {1.0f, 2.0f, 4.0f}) {
+      const Parameters params{dataset.minpts_sweep_eps * factor,
+                              dataset.eps_sweep_minpts};
+      char eps_str[32];
+      std::snprintf(eps_str, sizeof(eps_str), "%g", params.eps);
+      const std::string suffix = dataset.name + "/eps=" + eps_str;
+
+      register_run("table_memory/fdbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     exec::MemoryTracker tracker;
+                     Options options;
+                     options.memory = &tracker;
+                     return fdbscan::fdbscan(*points, params, options);
+                   });
+      register_run("table_memory/fdbscan-densebox/" + suffix,
+                   [=](benchmark::State&) {
+                     exec::MemoryTracker tracker;
+                     Options options;
+                     options.memory = &tracker;
+                     return fdbscan_densebox(*points, params, options);
+                   });
+      register_run("table_memory/g-dbscan/" + suffix,
+                   [=](benchmark::State&) {
+                     exec::MemoryTracker tracker;
+                     return baselines::gdbscan(*points, params, &tracker);
+                   });
+      // The batched hybrid (§2.2 [14]) sits between the two: it
+      // materializes neighbor lists, but only one bounded batch at a
+      // time.
+      register_run("table_memory/hybrid-batched/" + suffix,
+                   [=](benchmark::State&) {
+                     exec::MemoryTracker tracker;
+                     return baselines::hybrid_gowanlock(*points, params, {},
+                                                        &tracker);
+                   });
+
+      benchmark::RegisterBenchmark(
+          ("table_memory/gdbscan_over_fdbscan/" + suffix).c_str(),
+          [=](benchmark::State& state) {
+            for (auto _ : state) {
+              exec::MemoryTracker fd_tracker, g_tracker;
+              Options options;
+              options.memory = &fd_tracker;
+              benchmark::DoNotOptimize(
+                  fdbscan::fdbscan(*points, params, options));
+              benchmark::DoNotOptimize(
+                  baselines::gdbscan(*points, params, &g_tracker));
+              state.counters["memory_ratio"] =
+                  static_cast<double>(g_tracker.peak()) /
+                  static_cast<double>(fd_tracker.peak());
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// §5.1 phase-breakdown claim: "most of the time in FDBSCAN is spent in
+// the tree search, while in FDBSCAN-DENSEBOX it is in the dense cells
+// processing". Each entry exposes the per-phase seconds as counters
+// (build / preprocess / main / finalize) so the split is directly
+// inspectable on every dataset.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "datasets_2d.h"
+
+namespace {
+
+using namespace fdbscan;
+using namespace fdbscan::bench;
+
+void report_phases(benchmark::State& state, const Clustering& result) {
+  state.counters["build_ms"] = result.timings.index_construction * 1e3;
+  state.counters["preprocess_ms"] = result.timings.preprocessing * 1e3;
+  state.counters["main_ms"] = result.timings.main * 1e3;
+  state.counters["finalize_ms"] = result.timings.finalization * 1e3;
+  state.counters["main_share_pct"] =
+      100.0 * result.timings.main / result.timings.total();
+}
+
+template <class Fn>
+void register_phase_run(const std::string& name, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   const Clustering result = fn();
+                                   benchmark::DoNotOptimize(result);
+                                   report(state, result);
+                                   report_phases(state, result);
+                                 }
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void register_all() {
+  const std::int64_t n = scaled(16384);
+  for (const auto& dataset : kDatasets2D) {
+    const auto points =
+        std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    const Parameters params{dataset.minpts_sweep_eps, 128};
+    register_phase_run("table_phases/fdbscan/" + dataset.name, [=] {
+      return fdbscan::fdbscan(*points, params);
+    });
+    register_phase_run("table_phases/fdbscan-densebox/" + dataset.name, [=] {
+      return fdbscan_densebox(*points, params);
+    });
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

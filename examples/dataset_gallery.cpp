@@ -1,0 +1,82 @@
+// Renders the evaluation datasets as ASCII density maps (the stand-in
+// for the paper's Fig. 3 scatter plots and Fig. 5 visualization) and
+// optionally dumps them to CSV for real plotting.
+//
+//   $ ./dataset_gallery [n] [--csv-dir DIR]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fdbscan.h"
+
+namespace {
+
+template <int DIM>
+void render(const char* title, const std::vector<fdbscan::Point<DIM>>& points) {
+  constexpr int kW = 72, kH = 24;
+  const auto bounds = fdbscan::bounds_of(points.data(), points.size());
+  std::vector<int> histogram(kW * kH, 0);
+  for (const auto& p : points) {
+    // Project onto the first two coordinates.
+    const float fx = (p[0] - bounds.min[0]) /
+                     std::max(bounds.max[0] - bounds.min[0], 1e-9f);
+    const float fy = (p[1] - bounds.min[1]) /
+                     std::max(bounds.max[1] - bounds.min[1], 1e-9f);
+    const int x = std::min(kW - 1, static_cast<int>(fx * kW));
+    const int y = std::min(kH - 1, static_cast<int>(fy * kH));
+    ++histogram[static_cast<std::size_t>(y * kW + x)];
+  }
+  const int peak = *std::max_element(histogram.begin(), histogram.end());
+  static const char shades[] = " .:-=+*#%@";
+  std::printf("--- %s (%zu points, peak bin %d) ---\n", title, points.size(),
+              peak);
+  for (int y = kH - 1; y >= 0; --y) {  // latitude increases upwards
+    for (int x = 0; x < kW; ++x) {
+      const int count = histogram[static_cast<std::size_t>(y * kW + x)];
+      const int shade =
+          count == 0
+              ? 0
+              : 1 + static_cast<int>(8.0 * std::min(1.0, std::log1p(count) /
+                                                             std::log1p(peak)));
+      std::putchar(shades[std::min(shade, 9)]);
+    }
+    std::putchar('\n');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 10000;
+  std::string csv_dir;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--csv-dir") == 0 && a + 1 < argc) {
+      csv_dir = argv[++a];
+    } else {
+      n = std::atoll(argv[a]);
+    }
+  }
+
+  const auto ngsim = fdbscan::data::ngsim_like(n, 1);
+  const auto porto = fdbscan::data::porto_taxi_like(n, 2);
+  const auto road = fdbscan::data::road_network_like(n, 3);
+  const auto cosmo = fdbscan::data::hacc_like(n, 4);
+
+  render("NGSIM-like (zoomed: one of three sites in view)", ngsim);
+  render("PortoTaxi-like", porto);
+  render("3DRoad-like", road);
+  render("HACC-like cosmology (xy-projection)", cosmo);
+
+  if (!csv_dir.empty()) {
+    fdbscan::data::write_csv(csv_dir + "/ngsim_like.csv", ngsim);
+    fdbscan::data::write_csv(csv_dir + "/porto_like.csv", porto);
+    fdbscan::data::write_csv(csv_dir + "/road_like.csv", road);
+    fdbscan::data::write_csv(csv_dir + "/hacc_like.csv", cosmo);
+    std::printf("CSV dumps written to %s\n", csv_dir.c_str());
+  }
+  return 0;
+}

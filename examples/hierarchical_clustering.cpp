@@ -1,0 +1,52 @@
+// Hierarchical density clustering on the HDBSCAN path the paper's §2.1
+// points to: build the mutual-reachability minimum spanning tree once
+// (parallel Boruvka over the BVH), then read every DBSCAN* clustering off
+// it by cutting the dendrogram at different eps — no re-clustering.
+//
+//   $ ./hierarchical_clustering [n] [k]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fdbscan.h"
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const std::int32_t k =
+      argc > 2 ? static_cast<std::int32_t>(std::atoi(argv[2])) : 8;
+
+  const auto points = fdbscan::data::gaussian_mixture2(n, 12, 1.0f, 0.008f, 5);
+
+  fdbscan::exec::Timer timer;
+  fdbscan::MstConfig config;
+  config.mutual_reachability_k = k;
+  const auto mst = fdbscan::euclidean_mst(points, config);
+  std::printf("mutual-reachability MST (k=%d) over %lld points: %zu edges, "
+              "weight %.3f, built in %.1f ms\n",
+              k, static_cast<long long>(n), mst.size(),
+              fdbscan::mst_weight(mst), timer.lap() * 1e3);
+
+  // The largest MST edges are the natural cut candidates.
+  auto weights = mst;
+  std::sort(weights.begin(), weights.end(),
+            [](const fdbscan::MstEdge& a, const fdbscan::MstEdge& b) {
+              return a.distance > b.distance;
+            });
+  std::printf("largest merge distances: %.4f %.4f %.4f ... median %.5f\n",
+              weights[0].distance, weights[1].distance, weights[2].distance,
+              weights[weights.size() / 2].distance);
+
+  // Core distances are shared by every cut.
+  const auto core_distances = fdbscan::k_distances(points, k);
+  std::printf("%-10s %10s %10s %12s\n", "cut eps", "clusters", "noise",
+              "cut time ms");
+  timer.lap();
+  for (float eps : {0.002f, 0.005f, 0.01f, 0.02f, 0.05f}) {
+    const auto cut = fdbscan::hdbscan_cut(core_distances, mst, eps);
+    std::printf("%-10.3f %10d %10lld %12.1f\n", eps, cut.num_clusters,
+                static_cast<long long>(cut.num_noise()), timer.lap() * 1e3);
+  }
+  std::printf("(each cut equals DBSCAN* at that eps with minpts=%d — the\n"
+              " defining property of the HDBSCAN hierarchy)\n", k);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Choosing (eps, minpts) with the sorted k-dist heuristic of the
+// original DBSCAN paper (Ester et al. 1996), computed here with batched
+// k-nearest-neighbor queries on the BVH. Prints a textual k-dist curve,
+// picks eps at a noise quantile, and shows the resulting clustering.
+//
+//   $ ./parameter_selection [n] [minpts] [noise_fraction]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fdbscan.h"
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const std::int32_t minpts =
+      argc > 2 ? static_cast<std::int32_t>(std::atoi(argv[2])) : 8;
+  const double noise_fraction =
+      argc > 3 ? std::strtod(argv[3], nullptr) : 0.02;
+
+  const auto points = fdbscan::data::porto_taxi_like(n, 99);
+
+  const auto curve = fdbscan::sorted_k_distances(points, minpts);
+  std::printf("sorted %d-dist curve (descending), %lld points:\n", minpts,
+              static_cast<long long>(n));
+  for (double q : {0.001, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.90}) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(n));
+    std::printf("  quantile %5.1f%%: k-dist %.5f\n", 100.0 * q,
+                curve[std::min(idx, curve.size() - 1)]);
+  }
+
+  const float eps = fdbscan::suggest_eps(points, minpts, noise_fraction);
+  std::printf("suggested eps for ~%.0f%% noise: %.5f\n",
+              100.0 * noise_fraction, eps);
+
+  const auto clusters =
+      fdbscan::fdbscan_densebox(points, fdbscan::Parameters{eps, minpts});
+  std::printf("clustering: %d clusters, %lld noise (%.1f%% of points), "
+              "%.1f ms\n",
+              clusters.num_clusters,
+              static_cast<long long>(clusters.num_noise()),
+              100.0 * static_cast<double>(clusters.num_noise()) /
+                  static_cast<double>(n),
+              clusters.timings.total() * 1e3);
+  return 0;
+}

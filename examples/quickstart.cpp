@@ -1,0 +1,46 @@
+// Quickstart: cluster a blobby 2-D dataset with FDBSCAN in a dozen lines.
+//
+//   $ ./quickstart [n]
+//
+// Demonstrates the minimal public API: generate points, pick (eps,
+// minpts), call fdbscan(), inspect the Clustering result.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fdbscan.h"
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 10000;
+
+  // Five Gaussian blobs in the unit square with sigma 0.01.
+  const auto points = fdbscan::data::gaussian_mixture2(n, 5, 1.0f, 0.01f, 42);
+
+  // eps: neighborhood radius. minpts: density threshold (|N_eps(x)| >=
+  // minpts, the point itself included, makes x a core point).
+  const fdbscan::Parameters params{0.01f, 10};
+
+  const auto clusters = fdbscan::fdbscan(points, params);
+
+  std::printf("points:    %lld\n", static_cast<long long>(n));
+  std::printf("clusters:  %d\n", clusters.num_clusters);
+  std::printf("noise:     %lld\n", static_cast<long long>(clusters.num_noise()));
+  std::printf("time:      %.1f ms (build %.1f, preprocess %.1f, main %.1f, "
+              "finalize %.1f)\n",
+              clusters.timings.total() * 1e3,
+              clusters.timings.index_construction * 1e3,
+              clusters.timings.preprocessing * 1e3,
+              clusters.timings.main * 1e3,
+              clusters.timings.finalization * 1e3);
+
+  // Per-cluster sizes.
+  std::vector<std::int64_t> sizes(
+      static_cast<std::size_t>(clusters.num_clusters), 0);
+  for (auto label : clusters.labels) {
+    if (label != fdbscan::kNoise) ++sizes[static_cast<std::size_t>(label)];
+  }
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    std::printf("  cluster %zu: %lld points\n", c,
+                static_cast<long long>(sizes[c]));
+  }
+  return 0;
+}

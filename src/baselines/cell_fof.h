@@ -1,0 +1,72 @@
+// Cell-partitioned Friends-of-Friends after Sewell et al. (LDAV'15),
+// which §2.2 calls a precursor of this work: the minpts = 2 special case
+// (strongly connected components of the implicit eps-graph) computed
+// with a cell partitioning of the domain as the index and a disjoint-set
+// structure — no tree, no general minpts. Each point scans the 3^d
+// surrounding cells and unions with eps-close points of higher id (each
+// implicit edge handled once).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/clustering.h"
+#include "exec/parallel.h"
+#include "exec/timer.h"
+#include "geometry/point.h"
+#include "grid/uniform_grid_index.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan::baselines {
+
+/// Friends-of-Friends halo finding: DBSCAN restricted to minpts = 2.
+/// `params.minpts` must be 2 (throws otherwise — the algorithm has no
+/// notion of border points or density thresholds).
+template <int DIM>
+[[nodiscard]] Clustering cell_fof(const std::vector<Point<DIM>>& points,
+                                  const Parameters& params) {
+  if (params.minpts != 2) {
+    throw std::invalid_argument(
+        "cell_fof implements only the minpts == 2 (Friends-of-Friends) case");
+  }
+  const auto n = static_cast<std::int64_t>(points.size());
+  if (n == 0) return {};
+
+  exec::Timer timer;
+  UniformGridIndex<DIM> index(points, params.eps);
+  PhaseTimings timings;
+  timings.index_construction = timer.lap();
+
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
+  std::vector<std::uint8_t> is_core(points.size(), 0);
+  std::int64_t distance_computations = 0;
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto x = static_cast<std::int32_t>(i);
+    std::vector<std::int32_t> neighbors;
+    const std::int64_t tested =
+        index.neighbors(points[static_cast<std::size_t>(x)], neighbors);
+    for (std::int32_t y : neighbors) {
+      if (y > x) {  // each implicit edge once
+        exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
+                                   std::uint8_t{1});
+        exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
+                                   std::uint8_t{1});
+        uf.merge(x, y);
+      }
+    }
+    exec::atomic_fetch_add(distance_computations, tested);
+  });
+  timings.main = timer.lap();
+
+  flatten(labels);
+  Clustering result =
+      detail::finalize_labels(std::move(labels), std::move(is_core));
+  timings.finalization = timer.lap();
+  result.timings = timings;
+  result.distance_computations = distance_computations;
+  return result;
+}
+
+}  // namespace fdbscan::baselines

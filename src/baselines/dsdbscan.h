@@ -1,0 +1,83 @@
+// DSDBSCAN (paper Algorithm 2): the disjoint-set reformulation of DBSCAN
+// by Patwary et al. (SC'12) that this work generalizes. Point-level
+// parallelism: each point computes its own neighborhood and unions with
+// its neighbors; border points are claimed through the same CAS mechanism
+// as the tree-based algorithms. Uses the concurrent union-find but a k-d
+// tree (per-point asynchronous queries — exactly the execution-divergence
+// pattern §3.2 argues against, which the ablation bench quantifies).
+#pragma once
+
+#include <vector>
+
+#include "core/clustering.h"
+#include "exec/parallel.h"
+#include "exec/timer.h"
+#include "geometry/point.h"
+#include "kdtree/kdtree.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan::baselines {
+
+template <int DIM>
+[[nodiscard]] Clustering dsdbscan(const std::vector<Point<DIM>>& points,
+                                  const Parameters& params,
+                                  Variant variant = Variant::kDbscan) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  const float eps2 = params.eps * params.eps;
+  if (n == 0) return {};
+
+  exec::Timer timer;
+  KdTree<DIM> tree(points);
+  PhaseTimings timings;
+  timings.index_construction = timer.lap();
+
+  // Phase 1: core points (full neighborhood count — Algorithm 2 computes
+  // |N| per point; no early exit, that refinement belongs to FDBSCAN).
+  std::int64_t distance_computations = 0;
+  std::vector<std::uint8_t> is_core(points.size(), 0);
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto& p = points[static_cast<std::size_t>(i)];
+    std::int32_t count = 0;
+    std::int64_t tested = 0;
+    tree.for_each_near(
+        p, eps2,
+        [&](std::int32_t) {
+          ++count;
+          return KdTree<DIM>::TraversalControlKd::kContinue;
+        },
+        &tested);
+    if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
+    exec::atomic_fetch_add(distance_computations, tested);
+  });
+  timings.preprocessing = timer.lap();
+
+  // Phase 2: each core point unions with its neighbors.
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto x = static_cast<std::int32_t>(i);
+    if (is_core[static_cast<std::size_t>(x)] == 0) return;
+    const auto& p = points[static_cast<std::size_t>(x)];
+    std::int64_t tested = 0;
+    tree.for_each_near(
+        p, eps2,
+        [&](std::int32_t y) {
+          if (y != x) detail::resolve_pair(uf, is_core, x, y, variant);
+          return KdTree<DIM>::TraversalControlKd::kContinue;
+        },
+        &tested);
+    exec::atomic_fetch_add(distance_computations, tested);
+  });
+  timings.main = timer.lap();
+
+  flatten(labels);
+  Clustering result =
+      detail::finalize_labels(std::move(labels), std::move(is_core));
+  timings.finalization = timer.lap();
+  result.timings = timings;
+  result.distance_computations = distance_computations;
+  return result;
+}
+
+}  // namespace fdbscan::baselines

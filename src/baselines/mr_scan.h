@@ -1,0 +1,73 @@
+// Mr. Scan-style local clustering (Welton, Samanas & Miller, SC'13).
+// §2.2: Mr. Scan modified CUDA-DClust by "identifying core points prior
+// to cluster generation" (and cutting host-device transfers). The local
+// (single-GPU) kernel reproduced here is therefore *two-phase*: a core
+// identification pass over a grid directory index, then a union pass
+// where each core point merges with its eps-neighbors — the structural
+// midpoint between CUDA-DClust's chains and the paper's framework.
+#pragma once
+
+#include <vector>
+
+#include "core/clustering.h"
+#include "exec/parallel.h"
+#include "exec/timer.h"
+#include "geometry/point.h"
+#include "grid/uniform_grid_index.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan::baselines {
+
+template <int DIM>
+[[nodiscard]] Clustering mr_scan(const std::vector<Point<DIM>>& points,
+                                 const Parameters& params,
+                                 Variant variant = Variant::kDbscan) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  if (n == 0) return {};
+
+  exec::Timer timer;
+  UniformGridIndex<DIM> index(points, params.eps);
+  PhaseTimings timings;
+  timings.index_construction = timer.lap();
+
+  // Phase 1: core points, before any cluster generation.
+  std::int64_t distance_computations = 0;
+  std::vector<std::uint8_t> is_core(points.size(), 0);
+  exec::parallel_for(n, [&](std::int64_t i) {
+    std::vector<std::int32_t> neighbors;
+    const std::int64_t tested =
+        index.neighbors(points[static_cast<std::size_t>(i)], neighbors);
+    if (static_cast<std::int32_t>(neighbors.size()) >= params.minpts) {
+      is_core[static_cast<std::size_t>(i)] = 1;
+    }
+    exec::atomic_fetch_add(distance_computations, tested);
+  });
+  timings.preprocessing = timer.lap();
+
+  // Phase 2: cluster generation through the disjoint-set structure.
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto x = static_cast<std::int32_t>(i);
+    if (is_core[static_cast<std::size_t>(x)] == 0) return;
+    std::vector<std::int32_t> neighbors;
+    const std::int64_t tested =
+        index.neighbors(points[static_cast<std::size_t>(x)], neighbors);
+    for (std::int32_t y : neighbors) {
+      if (y != x) detail::resolve_pair(uf, is_core, x, y, variant);
+    }
+    exec::atomic_fetch_add(distance_computations, tested);
+  });
+  timings.main = timer.lap();
+
+  flatten(labels);
+  Clustering result =
+      detail::finalize_labels(std::move(labels), std::move(is_core));
+  timings.finalization = timer.lap();
+  result.timings = timings;
+  result.distance_computations = distance_computations;
+  return result;
+}
+
+}  // namespace fdbscan::baselines

@@ -1,0 +1,92 @@
+// Heuristic algorithm selection — the paper's first future-work item
+// (§6): "we envision using a heuristic to switch between FDBSCAN and
+// FDBSCAN-DenseBox for a given problem".
+//
+// The driver of the trade-off (§5) is the dense-cell population: when a
+// large share of the points lives in cells of the eps/sqrt(d) grid with
+// >= minpts points, DenseBox collapses their pairwise work; when the
+// share is small, DenseBox only pays grid construction and mixed-tree
+// overhead (Fig. 6's crossover). The heuristic estimates that share on a
+// random subsample — cell occupancy statistics concentrate fast, so a
+// few thousand points suffice — and dispatches on a threshold calibrated
+// with the ablation bench.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "grid/dense_grid.h"
+
+namespace fdbscan {
+
+struct AutoSelectConfig {
+  /// Subsample size used for the estimate.
+  std::int32_t sample_size = 4096;
+  /// Dispatch to DenseBox when the estimated dense-point fraction is at
+  /// least this threshold (Fig. 6: the crossover sits where the dense
+  /// population stops paying for the grid overhead).
+  double densebox_threshold = 0.10;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Estimated fraction of points lying in dense cells, from a subsample.
+/// The subsample sees proportionally fewer points per cell, so the
+/// occupancy threshold is scaled by the sampling ratio.
+template <int DIM>
+[[nodiscard]] double estimate_dense_fraction(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const AutoSelectConfig& config = {}) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  if (n == 0) return 0.0;
+  const std::int64_t m = std::min<std::int64_t>(config.sample_size, n);
+  std::vector<Point<DIM>> sample;
+  if (m == n) {
+    sample = points;
+  } else {
+    sample.reserve(static_cast<std::size_t>(m));
+    std::mt19937_64 rng(config.seed);
+    for (std::int64_t i = 0; i < m; ++i) {
+      sample.push_back(points[static_cast<std::size_t>(
+          rng() % static_cast<std::uint64_t>(n))]);
+    }
+  }
+  // A cell with k points in the full set holds ~k*m/n sample points:
+  // rescale minpts accordingly (at least 2 so "dense" keeps meaning).
+  const double ratio = static_cast<double>(m) / static_cast<double>(n);
+  const auto scaled_minpts = std::max<std::int32_t>(
+      2, static_cast<std::int32_t>(params.minpts * ratio + 0.5));
+  DenseGrid<DIM> grid(sample, params.eps, scaled_minpts);
+  return static_cast<double>(grid.points_in_dense_cells()) /
+         static_cast<double>(m);
+}
+
+/// Result of the heuristic dispatch.
+template <int DIM>
+struct AutoSelection {
+  Clustering clustering;
+  bool used_densebox = false;
+  double estimated_dense_fraction = 0.0;
+};
+
+/// Runs FDBSCAN-DenseBox when the dense-cell population justifies the
+/// grid overhead, plain FDBSCAN otherwise. Results are identical either
+/// way (both implement the same specification); only performance differs.
+template <int DIM>
+[[nodiscard]] AutoSelection<DIM> fdbscan_auto(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Options& options = {}, const AutoSelectConfig& config = {}) {
+  AutoSelection<DIM> result;
+  result.estimated_dense_fraction =
+      estimate_dense_fraction(points, params, config);
+  result.used_densebox =
+      result.estimated_dense_fraction >= config.densebox_threshold;
+  result.clustering = result.used_densebox
+                          ? fdbscan_densebox(points, params, options)
+                          : fdbscan(points, params, options);
+  return result;
+}
+
+}  // namespace fdbscan

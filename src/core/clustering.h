@@ -1,0 +1,150 @@
+// Public result types and shared kernels of the DBSCAN framework (§3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/atomic.h"
+#include "exec/memory_tracker.h"
+#include "exec/parallel.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan {
+
+/// Label assigned to noise points in a finalized clustering.
+inline constexpr std::int32_t kNoise = -1;
+
+/// DBSCAN parameters. `eps` is the neighborhood radius; `minpts` is the
+/// density threshold (|N_eps(x)| >= minpts, N including x itself, makes x
+/// a core point). minpts == 2 triggers the Friends-of-Friends fast path
+/// that skips the preprocessing phase (Alg. 3 line 2).
+struct Parameters {
+  float eps = 0.0f;
+  std::int32_t minpts = 2;
+};
+
+/// Which clustering semantics to compute.
+enum class Variant : std::uint8_t {
+  kDbscan,      ///< classic DBSCAN: border points join one adjacent cluster
+  kDbscanStar,  ///< DBSCAN* (Campello et al.): border points become noise
+};
+
+/// Tuning/ablation switches for the tree-based algorithms.
+struct Options {
+  Variant variant = Variant::kDbscan;
+  /// §4.1 masked ("half") traversal in the main phase. Disable only for
+  /// the ablation bench; results are identical either way.
+  bool masked_traversal = true;
+  /// Early exit from the preprocessing traversal once minpts neighbors
+  /// are seen. Disable only for the ablation bench.
+  bool early_exit = true;
+  /// FDBSCAN-DenseBox only: scales the grid cell width relative to the
+  /// paper's eps/sqrt(d). Must be in (0, 1]: larger would break the
+  /// cell-diameter <= eps invariant. Values < 1 trade fewer points per
+  /// dense cell for tighter boxes (design-choice ablation, DESIGN.md §4).
+  float densebox_cell_width_factor = 1.0f;
+  /// Optional device-memory accounting / OOM simulation.
+  exec::MemoryTracker* memory = nullptr;
+};
+
+/// Phase timing breakdown (seconds) reported by every algorithm.
+struct PhaseTimings {
+  double index_construction = 0.0;  ///< grid and/or tree build
+  double preprocessing = 0.0;       ///< core-point determination
+  double main = 0.0;                ///< neighbor traversal + union-find
+  double finalization = 0.0;        ///< flatten + label assignment
+
+  [[nodiscard]] double total() const noexcept {
+    return index_construction + preprocessing + main + finalization;
+  }
+};
+
+/// A finalized clustering.
+struct Clustering {
+  /// Per-point label: kNoise, or the cluster id in [0, num_clusters).
+  std::vector<std::int32_t> labels;
+  /// Per-point core flag (1 = core). Border points are clustered but not
+  /// core; with Variant::kDbscanStar border points are noise.
+  std::vector<std::uint8_t> is_core;
+  std::int32_t num_clusters = 0;
+  PhaseTimings timings;
+  /// Peak auxiliary bytes if a MemoryTracker was supplied, else 0.
+  std::size_t peak_memory_bytes = 0;
+  /// Dense-grid statistics (FDBSCAN-DenseBox only; zero otherwise).
+  std::int32_t num_dense_cells = 0;
+  std::int32_t points_in_dense_cells = 0;
+  /// Architecture-neutral work counters (see bvh::TraversalStats): the
+  /// number of point-point distance evaluations across all phases, and
+  /// the number of index nodes whose bounds were tested. These reproduce
+  /// the paper's efficiency arguments independently of the execution
+  /// substrate (DESIGN.md §6).
+  std::int64_t distance_computations = 0;
+  std::int64_t index_nodes_visited = 0;
+
+  [[nodiscard]] std::int64_t num_noise() const noexcept {
+    std::int64_t k = 0;
+    for (auto l : labels) k += (l == kNoise);
+    return k;
+  }
+};
+
+namespace detail {
+
+/// Edge resolution of Algorithm 3 (lines 6-12), shared by FDBSCAN,
+/// FDBSCAN-DenseBox and the DSDBSCAN baseline. Core status of both
+/// endpoints must already be known. Safe to call concurrently; border
+/// claims go through a single CAS (no critical section).
+inline void resolve_pair(const UnionFindView& uf,
+                         const std::vector<std::uint8_t>& is_core,
+                         std::int32_t x, std::int32_t y,
+                         Variant variant) noexcept {
+  const bool xc = is_core[static_cast<std::size_t>(x)] != 0;
+  const bool yc = is_core[static_cast<std::size_t>(y)] != 0;
+  if (xc && yc) {
+    uf.merge(x, y);
+  } else if (variant == Variant::kDbscan) {
+    if (xc) {
+      uf.claim(y, x);  // y is a border point of x's cluster
+    } else if (yc) {
+      uf.claim(x, y);
+    }
+  }
+  // DBSCAN*: border points are left unassigned (they become noise).
+}
+
+/// Turns a *flattened* union-find labels array + core flags into a
+/// finalized Clustering: noise points get kNoise and clusters are
+/// renumbered densely to [0, num_clusters). A point is noise iff it is
+/// not core and was never claimed (labels[i] == i); every cluster root is
+/// a core point with labels[root] == root.
+inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
+                                  std::vector<std::uint8_t>&& is_core) {
+  const auto n = static_cast<std::int64_t>(labels.size());
+  // Rank the roots with an exclusive scan to obtain dense cluster ids.
+  std::vector<std::int32_t> compact(labels.size());
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    compact[ui] = (labels[ui] == static_cast<std::int32_t>(i) &&
+                   is_core[ui] != 0)
+                      ? 1
+                      : 0;
+  });
+  const std::int32_t num_clusters = exec::exclusive_scan(compact.data(), n);
+  std::vector<std::int32_t> out(labels.size());
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (is_core[ui] == 0 && labels[ui] == static_cast<std::int32_t>(i)) {
+      out[ui] = kNoise;
+    } else {
+      out[ui] = compact[static_cast<std::size_t>(labels[ui])];
+    }
+  });
+  Clustering result;
+  result.labels = std::move(out);
+  result.is_core = std::move(is_core);
+  result.num_clusters = num_clusters;
+  return result;
+}
+
+}  // namespace detail
+}  // namespace fdbscan

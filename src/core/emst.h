@@ -1,0 +1,225 @@
+// Parallel Boruvka minimum spanning tree over the complete Euclidean (or
+// mutual-reachability) graph, using the BVH for nearest-outside-component
+// queries — the tree-based construction behind the HDBSCAN lineage the
+// paper cites (§2.1: DBSCAN* "serving as a basis for the hierarchical
+// HDBSCAN algorithm"; ArborX later built HDBSCAN on exactly this
+// BVH+Boruvka combination).
+//
+// Each Boruvka round runs one filtered nearest-neighbor query per point
+// (batched, data-parallel), reduces the per-component minimum outgoing
+// edge with an atomic packed min, and contracts via the concurrent
+// union-find. At most ceil(log2 n) rounds.
+//
+// With `mutual_reachability_k > 1`, edge weights are the HDBSCAN mutual
+// reachability distance d_mr(a, b) = max(core_k(a), core_k(b), d(a, b)).
+// Cutting the resulting dendrogram at eps reproduces DBSCAN* with
+// minpts = k (see hdbscan_cut and the cross-validation tests).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "core/clustering.h"
+#include "core/parameter_selection.h"
+#include "exec/atomic.h"
+#include "exec/parallel.h"
+#include "geometry/point.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan {
+
+/// One MST edge; `distance` is the edge's metric value (Euclidean or
+/// mutual-reachability, not squared).
+struct MstEdge {
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  float distance = 0.0f;
+};
+
+struct MstConfig {
+  /// 1 = plain Euclidean MST; k > 1 = HDBSCAN mutual reachability with
+  /// core distances to the k-th neighbor (k plays the role of minpts).
+  std::int32_t mutual_reachability_k = 1;
+};
+
+namespace detail {
+
+/// Packs a non-negative float and a 31-bit payload into an order-
+/// preserving uint64 (IEEE-754 bit patterns of non-negative floats sort
+/// like the floats themselves).
+[[nodiscard]] inline std::uint64_t pack_min_key(float value,
+                                                std::int32_t payload) noexcept {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return (static_cast<std::uint64_t>(bits) << 32) |
+         static_cast<std::uint32_t>(payload);
+}
+
+[[nodiscard]] inline std::int32_t unpack_payload(std::uint64_t key) noexcept {
+  return static_cast<std::int32_t>(key & 0xffffffffu);
+}
+
+}  // namespace detail
+
+/// Boruvka MST. Returns exactly n-1 edges for n >= 2 (the complete graph
+/// is always connected); empty for n <= 1.
+template <int DIM>
+[[nodiscard]] std::vector<MstEdge> euclidean_mst(
+    const std::vector<Point<DIM>>& points, const MstConfig& config = {}) {
+  const auto n = static_cast<std::int32_t>(points.size());
+  std::vector<MstEdge> mst;
+  if (n <= 1) return mst;
+  mst.reserve(static_cast<std::size_t>(n) - 1);
+
+  Bvh<DIM> bvh(points);
+
+  // Squared core distances for the mutual-reachability metric.
+  std::vector<float> core2;
+  if (config.mutual_reachability_k > 1) {
+    core2 = k_distances(points, config.mutual_reachability_k);
+    exec::parallel_for(n, [&](std::int64_t i) {
+      auto& c = core2[static_cast<std::size_t>(i)];
+      c = c * c;
+    });
+  }
+  auto metric2 = [&](std::int32_t a, std::int32_t b) {
+    float m = squared_distance(points[static_cast<std::size_t>(a)],
+                               points[static_cast<std::size_t>(b)]);
+    if (!core2.empty()) {
+      m = std::max({m, core2[static_cast<std::size_t>(a)],
+                    core2[static_cast<std::size_t>(b)]});
+    }
+    return m;
+  };
+
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), n);
+
+  std::vector<std::int32_t> component(points.size());
+  std::vector<std::int32_t> candidate(points.size());   // per-point best target
+  std::vector<float> candidate_dist2(points.size());
+  std::vector<std::uint64_t> component_best(points.size());
+
+  std::int32_t num_components = n;
+  while (num_components > 1) {
+    // Stable component snapshot for this round.
+    exec::parallel_for(n, [&](std::int64_t i) {
+      component[static_cast<std::size_t>(i)] =
+          uf.representative(static_cast<std::int32_t>(i));
+      component_best[static_cast<std::size_t>(i)] = ~std::uint64_t{0};
+    });
+
+    // Per-point nearest neighbor outside the own component, then reduce
+    // to a per-component minimum (packed atomic min on the root's slot).
+    exec::parallel_for(n, [&](std::int64_t ii) {
+      const auto i = static_cast<std::int32_t>(ii);
+      const std::int32_t my_component = component[static_cast<std::size_t>(i)];
+      const auto [target, d2] = bvh.nearest_by(
+          points[static_cast<std::size_t>(i)], [&](std::int32_t id) {
+            return component[static_cast<std::size_t>(id)] == my_component
+                       ? std::numeric_limits<float>::infinity()
+                       : metric2(i, id);
+          });
+      candidate[static_cast<std::size_t>(i)] = target;
+      candidate_dist2[static_cast<std::size_t>(i)] = d2;
+      if (target >= 0) {
+        exec::atomic_fetch_min(
+            component_best[static_cast<std::size_t>(my_component)],
+            detail::pack_min_key(d2, i));
+      }
+    });
+
+    // Contract: every component adds its minimum outgoing edge. An edge
+    // picked from both sides merges once (unite() reports novelty).
+    for (std::int32_t root = 0; root < n; ++root) {
+      const std::uint64_t best = component_best[static_cast<std::size_t>(root)];
+      if (best == ~std::uint64_t{0}) continue;  // not a live root this round
+      const std::int32_t from = detail::unpack_payload(best);
+      const std::int32_t to = candidate[static_cast<std::size_t>(from)];
+      const std::int32_t ra = uf.representative(from);
+      const std::int32_t rb = uf.representative(to);
+      if (ra == rb) continue;  // the reverse edge already merged us
+      uf.merge(ra, rb);
+      mst.push_back(
+          {from, to,
+           std::sqrt(candidate_dist2[static_cast<std::size_t>(from)])});
+      --num_components;
+    }
+  }
+  return mst;
+}
+
+/// Total weight of an edge set (the quantity that is unique across all
+/// valid MSTs, used by the correctness tests).
+[[nodiscard]] inline double mst_weight(const std::vector<MstEdge>& edges) {
+  double total = 0.0;
+  for (const auto& e : edges) total += e.distance;
+  return total;
+}
+
+/// Cuts a mutual-reachability dendrogram at `eps`: connects MST edges
+/// with weight <= eps among points whose core distance is <= eps, and
+/// labels the rest noise — by construction this equals DBSCAN* with
+/// (eps, minpts = k) on the same data (HDBSCAN's defining property).
+/// This overload takes precomputed core distances (from k_distances with
+/// the same k as the MST), so sweeping many cuts over one MST costs only
+/// the union-find pass per cut.
+[[nodiscard]] inline Clustering hdbscan_cut(
+    const std::vector<float>& core_distances, const std::vector<MstEdge>& mst,
+    float eps) {
+  const auto n = static_cast<std::int32_t>(core_distances.size());
+  Clustering result;
+  if (n == 0) return result;
+  const auto& core = core_distances;
+  std::vector<std::uint8_t> is_core(core_distances.size());
+  exec::parallel_for(n, [&](std::int64_t i) {
+    is_core[static_cast<std::size_t>(i)] =
+        core[static_cast<std::size_t>(i)] <= eps ? 1 : 0;
+  });
+  std::vector<std::int32_t> labels(core_distances.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), n);
+  for (const auto& edge : mst) {
+    if (edge.distance <= eps) uf.merge(edge.a, edge.b);
+  }
+  flatten(labels);
+  // Re-root every cluster at a core member so finalize_labels recognizes
+  // it (an all-noise chain collapses away naturally).
+  std::vector<std::int32_t> rerooted(core_distances.size());
+  exec::parallel_for(n, [&](std::int64_t i) {
+    rerooted[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  });
+  std::vector<std::int32_t> cluster_root(core_distances.size(), -1);
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (is_core[static_cast<std::size_t>(i)] == 0) continue;
+    auto& root = cluster_root[static_cast<std::size_t>(
+        labels[static_cast<std::size_t>(i)])];
+    if (root < 0) root = i;
+  }
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (is_core[ui] == 0) return;  // DBSCAN*: non-core points are noise
+    rerooted[ui] =
+        cluster_root[static_cast<std::size_t>(labels[ui])];
+  });
+  return detail::finalize_labels(std::move(rerooted), std::move(is_core));
+}
+
+/// Convenience overload computing the core distances itself (one-shot
+/// cuts; for sweeps, compute k_distances once and use the overload
+/// above).
+template <int DIM>
+[[nodiscard]] Clustering hdbscan_cut(const std::vector<Point<DIM>>& points,
+                                     const std::vector<MstEdge>& mst,
+                                     std::int32_t k, float eps) {
+  if (points.empty()) return {};
+  return hdbscan_cut(k_distances(points, std::max(k, std::int32_t{2})), mst,
+                     eps);
+}
+
+}  // namespace fdbscan

@@ -1,0 +1,128 @@
+// FDBSCAN — "fused" DBSCAN (§4.1): batched BVH traversal fused with the
+// synchronization-free union-find, within the two-phase GPU framework of
+// §3.2.
+//
+//   Preprocessing: one thread per point runs an eps-range traversal that
+//   terminates as soon as minpts neighbors (including the point itself)
+//   are seen; survivors are core points. Skipped entirely for
+//   minpts <= 2 (Alg. 3 line 2).
+//
+//   Main phase: one thread per *sorted leaf position* i runs a masked
+//   traversal that hides every leaf with position < i+1, so each
+//   neighboring pair is discovered exactly once; each discovery resolves
+//   per Algorithm 3 (core-core UNION, core-border CAS claim).
+//
+//   Finalization: pointer-jumping flatten + dense relabeling.
+//
+// Memory is O(n): neighbors are processed on the fly and never stored.
+#pragma once
+
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "core/clustering.h"
+#include "exec/timer.h"
+#include "geometry/point.h"
+
+namespace fdbscan {
+
+template <int DIM>
+[[nodiscard]] Clustering fdbscan(const std::vector<Point<DIM>>& points,
+                                 const Parameters& params,
+                                 const Options& options = {}) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  const float eps2 = params.eps * params.eps;
+  Clustering empty;
+  if (n == 0) return empty;
+
+  exec::ScopedCharge charge(
+      options.memory,
+      points.size() * (sizeof(std::int32_t) + sizeof(std::uint8_t)));
+  exec::Timer timer;
+
+  Bvh<DIM> bvh(points);
+  exec::ScopedCharge bvh_charge(options.memory, bvh.bytes_used());
+  PhaseTimings timings;
+  timings.index_construction = timer.lap();
+
+  // --- Preprocessing: determine core points -------------------------------
+  std::int64_t distance_computations = 0;
+  std::int64_t nodes_visited = 0;
+  std::vector<std::uint8_t> is_core(points.size(), 0);
+  if (params.minpts <= 1) {
+    // Degenerate density threshold: every point is core.
+    exec::parallel_for(n, [&](std::int64_t i) {
+      is_core[static_cast<std::size_t>(i)] = 1;
+    });
+  } else if (params.minpts > 2) {
+    exec::parallel_for(n, [&](std::int64_t i) {
+      const auto& x = points[static_cast<std::size_t>(i)];
+      std::int32_t count = 0;  // the traversal finds x itself at distance 0
+      TraversalStats stats;
+      bvh.for_each_near(
+          x, eps2, 0,
+          [&](std::int32_t, std::int32_t) {
+            ++count;
+            return (options.early_exit && count >= params.minpts)
+                       ? TraversalControl::kTerminate
+                       : TraversalControl::kContinue;
+          },
+          &stats);
+      if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
+      exec::atomic_fetch_add(distance_computations, stats.leaves_tested);
+      exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+    });
+  }
+  timings.preprocessing = timer.lap();
+
+  // --- Main phase: fused traversal + union-find ---------------------------
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
+  const bool fof = params.minpts == 2;  // Friends-of-Friends fast path
+
+  exec::parallel_for(n, [&](std::int64_t pos) {
+    // Threads are assigned sorted leaf positions (not raw ids) so that
+    // neighboring threads touch neighboring memory — the batched, low
+    // data-divergence launch of §3.2.
+    const std::int32_t x = bvh.primitive_at(static_cast<std::int32_t>(pos));
+    const auto& px = points[static_cast<std::size_t>(x)];
+    const std::int32_t mask =
+        options.masked_traversal ? static_cast<std::int32_t>(pos) + 1 : 0;
+    TraversalStats stats;
+    bvh.for_each_near(
+        px, eps2, mask,
+        [&](std::int32_t, std::int32_t y) {
+          if (y != x) {
+            if (fof) {
+              // Any eps-close pair consists of two core points (|N| >= 2).
+              exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
+                                         std::uint8_t{1});
+              exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
+                                         std::uint8_t{1});
+              uf.merge(x, y);
+            } else {
+              detail::resolve_pair(uf, is_core, x, y, options.variant);
+            }
+          }
+          return TraversalControl::kContinue;
+        },
+        &stats);
+    exec::atomic_fetch_add(distance_computations, stats.leaves_tested);
+    exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+  });
+  timings.main = timer.lap();
+
+  // --- Finalization --------------------------------------------------------
+  flatten(labels);
+  Clustering result =
+      detail::finalize_labels(std::move(labels), std::move(is_core));
+  timings.finalization = timer.lap();
+  result.timings = timings;
+  result.distance_computations = distance_computations;
+  result.index_nodes_visited = nodes_visited;
+  if (options.memory) result.peak_memory_bytes = options.memory->peak();
+  return result;
+}
+
+}  // namespace fdbscan

@@ -1,0 +1,231 @@
+// FDBSCAN under periodic boundary conditions — the metric actually used
+// for Friends-of-Friends halo finding on cosmology volumes like the
+// paper's HACC snapshot (§5.2): distances follow the minimum-image
+// convention, so halos wrapping across the box faces are single
+// clusters.
+//
+// Implementation: the BVH stays Euclidean; a query point within eps of a
+// face is *additionally* queried at its periodic images (up to 2^d - 1,
+// but only the offsets whose faces are close). Provided the box is wider
+// than 2*eps per dimension (checked), the neighbor sets found through
+// distinct images are disjoint, so counts simply add and no
+// deduplication is needed. Cross-boundary pairs are discovered from both
+// endpoints; the union-find resolution is idempotent, so correctness is
+// unaffected.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "core/clustering.h"
+#include "exec/timer.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan {
+
+namespace detail {
+
+/// Minimum-image squared distance within a periodic box.
+template <int DIM>
+[[nodiscard]] inline float periodic_squared_distance(
+    const Point<DIM>& a, const Point<DIM>& b, const Box<DIM>& domain) noexcept {
+  float s = 0.0f;
+  for (int d = 0; d < DIM; ++d) {
+    const float length = domain.max[d] - domain.min[d];
+    float diff = a[d] - b[d];
+    if (diff > 0.5f * length) diff -= length;
+    if (diff < -0.5f * length) diff += length;
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// Enumerates the periodic images of p (excluding p itself) that could
+/// own eps-neighbors: one per subset of dimensions where p sits within
+/// eps of a face. Invokes visit(image_point).
+template <int DIM, class Visit>
+void for_each_periodic_image(const Point<DIM>& p, const Box<DIM>& domain,
+                             float eps, Visit&& visit) {
+  // Per-dimension shift candidates: 0 always; +L if near the min face,
+  // -L if near the max face (box > 2 eps makes these exclusive).
+  float shift[DIM];
+  for (int d = 0; d < DIM; ++d) {
+    const float length = domain.max[d] - domain.min[d];
+    shift[d] = 0.0f;
+    if (p[d] - domain.min[d] < eps) {
+      shift[d] = length;
+    } else if (domain.max[d] - p[d] < eps) {
+      shift[d] = -length;
+    }
+  }
+  // All non-empty subsets of shifted dimensions.
+  for (unsigned mask = 1; mask < (1u << DIM); ++mask) {
+    Point<DIM> image = p;
+    bool applicable = true;
+    for (int d = 0; d < DIM; ++d) {
+      if (mask & (1u << d)) {
+        if (shift[d] == 0.0f) {
+          applicable = false;
+          break;
+        }
+        image[d] += shift[d];
+      }
+    }
+    if (applicable) visit(image);
+  }
+}
+
+}  // namespace detail
+
+/// DBSCAN with the minimum-image (periodic) metric over `domain`. Every
+/// dimension of the domain must be wider than 2*eps. The returned
+/// clustering has the same semantics as fdbscan()'s.
+template <int DIM>
+[[nodiscard]] Clustering fdbscan_periodic(const std::vector<Point<DIM>>& points,
+                                          const Parameters& params,
+                                          const Box<DIM>& domain,
+                                          const Options& options = {}) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  const float eps2 = params.eps * params.eps;
+  if (n == 0) return {};
+  for (int d = 0; d < DIM; ++d) {
+    if (!(domain.max[d] - domain.min[d] > 2.0f * params.eps)) {
+      throw std::invalid_argument(
+          "fdbscan_periodic: every box dimension must exceed 2*eps");
+    }
+  }
+
+  exec::Timer timer;
+  Bvh<DIM> bvh(points);
+  PhaseTimings timings;
+  timings.index_construction = timer.lap();
+
+  // --- Preprocessing -------------------------------------------------------
+  std::vector<std::uint8_t> is_core(points.size(), 0);
+  if (params.minpts <= 1) {
+    exec::parallel_for(n, [&](std::int64_t i) {
+      is_core[static_cast<std::size_t>(i)] = 1;
+    });
+  } else if (params.minpts > 2) {
+    exec::parallel_for(n, [&](std::int64_t i) {
+      const auto& x = points[static_cast<std::size_t>(i)];
+      std::int32_t count = 0;
+      auto counting = [&](std::int32_t, std::int32_t) {
+        ++count;
+        return (options.early_exit && count >= params.minpts)
+                   ? TraversalControl::kTerminate
+                   : TraversalControl::kContinue;
+      };
+      bvh.for_each_near(x, eps2, counting);
+      if (count < params.minpts || !options.early_exit) {
+        detail::for_each_periodic_image(
+            x, domain, params.eps, [&](const Point<DIM>& image) {
+              if (count >= params.minpts && options.early_exit) return;
+              bvh.for_each_near(image, eps2, counting);
+            });
+      }
+      if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
+    });
+  }
+  timings.preprocessing = timer.lap();
+
+  // --- Main phase -----------------------------------------------------------
+  std::vector<std::int32_t> labels(points.size());
+  init_singletons(labels);
+  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
+  const bool fof = params.minpts == 2;
+
+  exec::parallel_for(n, [&](std::int64_t pos) {
+    const std::int32_t x = bvh.primitive_at(static_cast<std::int32_t>(pos));
+    const auto& px = points[static_cast<std::size_t>(x)];
+    auto resolve = [&](std::int32_t, std::int32_t y) {
+      if (y != x) {
+        if (fof) {
+          exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
+                                     std::uint8_t{1});
+          exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
+                                     std::uint8_t{1});
+          uf.merge(x, y);
+        } else {
+          detail::resolve_pair(uf, is_core, x, y, options.variant);
+        }
+      }
+      return TraversalControl::kContinue;
+    };
+    // Interior pairs: masked traversal as in fdbscan().
+    const std::int32_t mask =
+        options.masked_traversal ? static_cast<std::int32_t>(pos) + 1 : 0;
+    bvh.for_each_near(px, eps2, mask, resolve);
+    // Cross-boundary pairs via images: unmasked (each such pair is seen
+    // from both endpoints; resolution is idempotent).
+    detail::for_each_periodic_image(px, domain, params.eps,
+                                    [&](const Point<DIM>& image) {
+                                      bvh.for_each_near(image, eps2, resolve);
+                                    });
+  });
+  timings.main = timer.lap();
+
+  flatten(labels);
+  Clustering result =
+      detail::finalize_labels(std::move(labels), std::move(is_core));
+  timings.finalization = timer.lap();
+  result.timings = timings;
+  return result;
+}
+
+/// Brute-force periodic DBSCAN (ground truth for tests).
+template <int DIM>
+[[nodiscard]] Clustering brute_force_periodic_dbscan(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Box<DIM>& domain) {
+  const auto n = static_cast<std::int32_t>(points.size());
+  const float eps2 = params.eps * params.eps;
+  constexpr std::int32_t kUnvisited = -2;
+  auto neighbors_of = [&](std::int32_t i) {
+    std::vector<std::int32_t> result;
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (detail::periodic_squared_distance(
+              points[static_cast<std::size_t>(i)],
+              points[static_cast<std::size_t>(j)], domain) <= eps2) {
+        result.push_back(j);
+      }
+    }
+    return result;
+  };
+  Clustering result;
+  result.labels.assign(points.size(), kUnvisited);
+  result.is_core.assign(points.size(), 0);
+  std::int32_t next_cluster = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (result.labels[static_cast<std::size_t>(i)] != kUnvisited) continue;
+    auto seed = neighbors_of(i);
+    if (static_cast<std::int32_t>(seed.size()) < params.minpts) {
+      result.labels[static_cast<std::size_t>(i)] = kNoise;
+      continue;
+    }
+    const std::int32_t c = next_cluster++;
+    result.labels[static_cast<std::size_t>(i)] = c;
+    result.is_core[static_cast<std::size_t>(i)] = 1;
+    std::vector<std::int32_t> queue(seed.begin(), seed.end());
+    while (!queue.empty()) {
+      const std::int32_t y = queue.back();
+      queue.pop_back();
+      auto& label = result.labels[static_cast<std::size_t>(y)];
+      if (label == kNoise) label = c;
+      if (label != kUnvisited) continue;
+      label = c;
+      auto ys = neighbors_of(y);
+      if (static_cast<std::int32_t>(ys.size()) >= params.minpts) {
+        result.is_core[static_cast<std::size_t>(y)] = 1;
+        queue.insert(queue.end(), ys.begin(), ys.end());
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace fdbscan

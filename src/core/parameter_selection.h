@@ -1,0 +1,77 @@
+// Parameter selection via the sorted k-dist plot — the heuristic the
+// original DBSCAN paper (Ester et al. 1996, §4.2) proposes for choosing
+// eps: compute each point's distance to its k-th nearest neighbor
+// (k = minpts), sort descending, and read eps off the "valley" where the
+// curve flattens; points left of the chosen threshold become noise.
+//
+// This library exposes the raw curve (for plotting) and a quantile-based
+// picker: eps such that a target fraction of points would fail the
+// density test.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "exec/parallel.h"
+#include "geometry/point.h"
+
+namespace fdbscan {
+
+/// Distance from every point to its k-th nearest *other* point
+/// (self-distance excluded, matching |N_eps(x)| >= minpts with x in N:
+/// the k-dist for minpts is the distance to the (minpts-1)-th other
+/// neighbor). Result is indexed by point; not sorted.
+template <int DIM>
+[[nodiscard]] std::vector<float> k_distances(
+    const std::vector<Point<DIM>>& points, std::int32_t minpts) {
+  if (minpts < 2) {
+    throw std::invalid_argument("k_distances: minpts must be >= 2");
+  }
+  const auto n = static_cast<std::int64_t>(points.size());
+  std::vector<float> result(points.size(),
+                            std::numeric_limits<float>::infinity());
+  if (n < 2) return result;
+  Bvh<DIM> bvh(points);
+  const std::int32_t k = std::min<std::int32_t>(
+      minpts, static_cast<std::int32_t>(n));  // includes self at distance 0
+  exec::parallel_for(n, [&](std::int64_t i) {
+    const auto nn = bvh.nearest(points[static_cast<std::size_t>(i)], k);
+    // nn[0] is the point itself (distance 0); the k-dist is the last.
+    result[static_cast<std::size_t>(i)] = std::sqrt(nn.back().second);
+  });
+  return result;
+}
+
+/// Sorted (descending) k-dist curve — Ester et al.'s plot.
+template <int DIM>
+[[nodiscard]] std::vector<float> sorted_k_distances(
+    const std::vector<Point<DIM>>& points, std::int32_t minpts) {
+  auto dists = k_distances(points, minpts);
+  std::sort(dists.begin(), dists.end(), std::greater<float>());
+  return dists;
+}
+
+/// Suggests eps for a given minpts: the k-dist value at the chosen noise
+/// quantile (default: accept ~2% of points as noise). Clustering with
+/// the returned eps makes roughly `noise_fraction` of the points fail
+/// the core test in their own neighborhood.
+template <int DIM>
+[[nodiscard]] float suggest_eps(const std::vector<Point<DIM>>& points,
+                                std::int32_t minpts,
+                                double noise_fraction = 0.02) {
+  if (points.empty()) {
+    throw std::invalid_argument("suggest_eps: empty input");
+  }
+  if (noise_fraction < 0.0 || noise_fraction >= 1.0) {
+    throw std::invalid_argument("suggest_eps: noise_fraction must be in [0,1)");
+  }
+  const auto curve = sorted_k_distances(points, minpts);
+  const auto idx = static_cast<std::size_t>(
+      noise_fraction * static_cast<double>(curve.size()));
+  return curve[std::min(idx, curve.size() - 1)];
+}
+
+}  // namespace fdbscan

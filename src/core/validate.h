@@ -1,0 +1,178 @@
+// Ground-truth reference DBSCAN and clustering-equivalence checking.
+//
+// DBSCAN's output is unique up to (a) cluster renaming and (b) the cluster
+// a border point reachable from several clusters lands in (§2.1: "may
+// differ in their handling of such border points"). The checker therefore
+// verifies: identical core flags, identical noise sets, an exact bijection
+// between the cluster partitions restricted to core points, and for every
+// border point that its assigned cluster contains an eps-close core point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clustering.h"
+#include "geometry/point.h"
+
+namespace fdbscan {
+
+/// O(n^2) sequential DBSCAN (Algorithm 1, no spatial index). The ground
+/// truth for every test in the repository — deliberately written in the
+/// most literal breadth-first style.
+template <int DIM>
+[[nodiscard]] Clustering brute_force_dbscan(const std::vector<Point<DIM>>& points,
+                                            const Parameters& params,
+                                            Variant variant = Variant::kDbscan) {
+  const auto n = static_cast<std::int32_t>(points.size());
+  const float eps2 = params.eps * params.eps;
+  constexpr std::int32_t kUnvisited = -2;
+
+  auto neighbors_of = [&](std::int32_t i) {
+    std::vector<std::int32_t> result;
+    const auto& p = points[static_cast<std::size_t>(i)];
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (within(p, points[static_cast<std::size_t>(j)], eps2)) {
+        result.push_back(j);  // includes i itself, per |N_eps(x)|
+      }
+    }
+    return result;
+  };
+
+  Clustering result;
+  result.labels.assign(points.size(), kUnvisited);
+  result.is_core.assign(points.size(), 0);
+  std::int32_t next_cluster = 0;
+
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (result.labels[static_cast<std::size_t>(i)] != kUnvisited) continue;
+    auto seed_neighbors = neighbors_of(i);
+    if (static_cast<std::int32_t>(seed_neighbors.size()) < params.minpts) {
+      result.labels[static_cast<std::size_t>(i)] = kNoise;
+      continue;
+    }
+    const std::int32_t c = next_cluster++;
+    result.labels[static_cast<std::size_t>(i)] = c;
+    result.is_core[static_cast<std::size_t>(i)] = 1;
+    std::deque<std::int32_t> queue(seed_neighbors.begin(), seed_neighbors.end());
+    while (!queue.empty()) {
+      const std::int32_t y = queue.front();
+      queue.pop_front();
+      auto& label = result.labels[static_cast<std::size_t>(y)];
+      if (label == kNoise) label = c;  // previously mis-marked border point
+      if (label != kUnvisited) continue;
+      label = c;
+      auto ys = neighbors_of(y);
+      if (static_cast<std::int32_t>(ys.size()) >= params.minpts) {
+        result.is_core[static_cast<std::size_t>(y)] = 1;
+        queue.insert(queue.end(), ys.begin(), ys.end());
+      }
+    }
+  }
+  if (variant == Variant::kDbscanStar) {
+    // DBSCAN*: border points (clustered, non-core) are noise.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.is_core[i] == 0) result.labels[i] = kNoise;
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+/// Result of an equivalence check; `ok` plus a human-readable reason.
+struct CheckResult {
+  bool ok = true;
+  std::string message;
+
+  static CheckResult failure(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Verifies that `candidate` is a valid DBSCAN output for (points,
+/// params) given the reference clustering (see file comment for the
+/// tolerance on border points).
+template <int DIM>
+[[nodiscard]] CheckResult equivalent_clusterings(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Clustering& reference, const Clustering& candidate,
+    Variant variant = Variant::kDbscan) {
+  const auto n = points.size();
+  const float eps2 = params.eps * params.eps;
+  if (candidate.labels.size() != n || candidate.is_core.size() != n) {
+    return CheckResult::failure("size mismatch");
+  }
+  std::ostringstream why;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reference.is_core[i] != candidate.is_core[i]) {
+      why << "core flag mismatch at point " << i << ": reference "
+          << int(reference.is_core[i]) << " vs candidate "
+          << int(candidate.is_core[i]);
+      return CheckResult::failure(why.str());
+    }
+    if ((reference.labels[i] == kNoise) != (candidate.labels[i] == kNoise)) {
+      why << "noise mismatch at point " << i << ": reference "
+          << reference.labels[i] << " vs candidate " << candidate.labels[i];
+      return CheckResult::failure(why.str());
+    }
+  }
+  // Core partition must be a bijection.
+  std::unordered_map<std::int64_t, std::int32_t> ref_to_cand, cand_to_ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reference.is_core[i] == 0) continue;
+    const std::int32_t r = reference.labels[i];
+    const std::int32_t c = candidate.labels[i];
+    auto [it1, fresh1] = ref_to_cand.try_emplace(r, c);
+    if (!fresh1 && it1->second != c) {
+      why << "core point " << i << " splits reference cluster " << r
+          << " across candidate clusters " << it1->second << " and " << c;
+      return CheckResult::failure(why.str());
+    }
+    auto [it2, fresh2] = cand_to_ref.try_emplace(c, r);
+    if (!fresh2 && it2->second != r) {
+      why << "core point " << i << " merges reference clusters " << it2->second
+          << " and " << r << " into candidate cluster " << c;
+      return CheckResult::failure(why.str());
+    }
+  }
+  // Border points: assignment may differ between valid outputs, but the
+  // chosen cluster must contain an eps-close core point.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (candidate.is_core[i] != 0 || candidate.labels[i] == kNoise) continue;
+    if (variant == Variant::kDbscanStar) {
+      why << "border point " << i << " is clustered under DBSCAN*";
+      return CheckResult::failure(why.str());
+    }
+    bool witnessed = false;
+    for (std::size_t j = 0; j < n && !witnessed; ++j) {
+      witnessed = candidate.is_core[j] != 0 &&
+                  candidate.labels[j] == candidate.labels[i] &&
+                  within(points[i], points[j], eps2);
+    }
+    if (!witnessed) {
+      why << "border point " << i << " assigned to candidate cluster "
+          << candidate.labels[i] << " with no eps-close core point in it";
+      return CheckResult::failure(why.str());
+    }
+  }
+  if (reference.num_clusters != candidate.num_clusters) {
+    why << "cluster count mismatch: reference " << reference.num_clusters
+        << " vs candidate " << candidate.num_clusters;
+    return CheckResult::failure(why.str());
+  }
+  return {};
+}
+
+/// Convenience: checks `candidate` directly against the brute-force
+/// ground truth.
+template <int DIM>
+[[nodiscard]] CheckResult matches_ground_truth(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Clustering& candidate, Variant variant = Variant::kDbscan) {
+  const Clustering reference = brute_force_dbscan(points, params, variant);
+  return equivalent_clusterings(points, params, reference, candidate, variant);
+}
+
+}  // namespace fdbscan

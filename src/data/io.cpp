@@ -1,0 +1,79 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdbscan::data {
+
+namespace {
+
+template <int DIM>
+void write_csv_impl(const std::string& path,
+                    const std::vector<Point<DIM>>& points,
+                    const std::vector<std::int32_t>* labels) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (int d = 0; d < DIM; ++d) {
+      if (d > 0) out << ',';
+      out << points[i][d];
+    }
+    if (labels) out << ',' << (*labels)[i];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+template <int DIM>
+std::vector<Point<DIM>> read_csv_impl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::vector<Point<DIM>> points;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    for (char& c : line) {
+      if (c == ',' || c == ';' || c == '\t') c = ' ';
+    }
+    std::istringstream row(line);
+    Point<DIM> p;
+    for (int d = 0; d < DIM; ++d) {
+      if (!(row >> p[d])) {
+        throw std::runtime_error(path + ": malformed row at line " +
+                                 std::to_string(lineno));
+      }
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const std::vector<Point2>& points) {
+  write_csv_impl<2>(path, points, nullptr);
+}
+void write_csv(const std::string& path, const std::vector<Point3>& points) {
+  write_csv_impl<3>(path, points, nullptr);
+}
+void write_labeled_csv(const std::string& path,
+                       const std::vector<Point2>& points,
+                       const std::vector<std::int32_t>& labels) {
+  write_csv_impl<2>(path, points, &labels);
+}
+void write_labeled_csv(const std::string& path,
+                       const std::vector<Point3>& points,
+                       const std::vector<std::int32_t>& labels) {
+  write_csv_impl<3>(path, points, &labels);
+}
+std::vector<Point2> read_csv2(const std::string& path) {
+  return read_csv_impl<2>(path);
+}
+std::vector<Point3> read_csv3(const std::string& path) {
+  return read_csv_impl<3>(path);
+}
+
+}  // namespace fdbscan::data

@@ -1,0 +1,32 @@
+// CSV import/export for points and labels, so datasets and clustering
+// results can move between this library and external tooling (plotting,
+// the real NGSIM/PortoTaxi downloads if available, etc.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace fdbscan::data {
+
+/// Writes one point per line, coordinates comma-separated.
+void write_csv(const std::string& path, const std::vector<Point2>& points);
+void write_csv(const std::string& path, const std::vector<Point3>& points);
+
+/// Writes points with a trailing label column.
+void write_labeled_csv(const std::string& path,
+                       const std::vector<Point2>& points,
+                       const std::vector<std::int32_t>& labels);
+void write_labeled_csv(const std::string& path,
+                       const std::vector<Point3>& points,
+                       const std::vector<std::int32_t>& labels);
+
+/// Reads comma/space-separated points, taking the first DIM columns of
+/// every non-empty, non-comment ('#') line. Throws std::runtime_error on
+/// open failure or malformed rows.
+std::vector<Point2> read_csv2(const std::string& path);
+std::vector<Point3> read_csv3(const std::string& path);
+
+}  // namespace fdbscan::data

@@ -1,0 +1,72 @@
+// Atomic operations on plain memory locations, in the style of
+// Kokkos/CUDA device atomics. All cross-thread communication inside
+// kernels goes through these wrappers so that every algorithm reads as a
+// GPU kernel would.
+//
+// Implemented with C++20 std::atomic_ref; the referenced objects must be
+// suitably aligned (true for the scalar types used throughout).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+namespace fdbscan::exec {
+
+template <class T>
+[[nodiscard]] inline T atomic_load(const T& x) noexcept {
+  return std::atomic_ref<const T>(x).load(std::memory_order_acquire);
+}
+
+template <class T>
+[[nodiscard]] inline T atomic_load_relaxed(const T& x) noexcept {
+  return std::atomic_ref<const T>(x).load(std::memory_order_relaxed);
+}
+
+template <class T>
+inline void atomic_store(T& x, T v) noexcept {
+  std::atomic_ref<T>(x).store(v, std::memory_order_release);
+}
+
+template <class T>
+inline void atomic_store_relaxed(T& x, T v) noexcept {
+  std::atomic_ref<T>(x).store(v, std::memory_order_relaxed);
+}
+
+/// Compare-and-swap. On failure, `expected` is updated with the observed
+/// value (same contract as std::atomic::compare_exchange_strong).
+template <class T>
+inline bool atomic_cas(T& x, T& expected, T desired) noexcept {
+  return std::atomic_ref<T>(x).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+template <class T>
+inline T atomic_fetch_add(T& x, T v) noexcept {
+  return std::atomic_ref<T>(x).fetch_add(v, std::memory_order_acq_rel);
+}
+
+/// Atomically x = min(x, v); returns the previous value.
+template <class T>
+inline T atomic_fetch_min(T& x, T v) noexcept {
+  std::atomic_ref<T> ref(x);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !ref.compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+/// Atomically x = max(x, v); returns the previous value.
+template <class T>
+inline T atomic_fetch_max(T& x, T v) noexcept {
+  std::atomic_ref<T> ref(x);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !ref.compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+}  // namespace fdbscan::exec

@@ -1,0 +1,19 @@
+#include "exec/memory_tracker.h"
+
+#include <algorithm>
+
+namespace fdbscan::exec {
+
+void MemoryTracker::charge(std::size_t bytes) {
+  if (budget_ != 0 && current_ + bytes > budget_) {
+    throw OutOfDeviceMemory(current_ + bytes, budget_);
+  }
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryTracker::release(std::size_t bytes) noexcept {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+}  // namespace fdbscan::exec

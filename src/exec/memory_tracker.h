@@ -1,0 +1,82 @@
+// Auxiliary-memory accounting. The paper's evaluation hinges on memory
+// behaviour (G-DBSCAN stores the full adjacency graph and runs out of GPU
+// memory; the proposed algorithms are O(n)). Algorithms report their
+// auxiliary allocations here so benches can reproduce the memory
+// comparison, and a configurable budget simulates the 16 GB V100 limit
+// (DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fdbscan::exec {
+
+/// Thrown when an algorithm would exceed the configured device-memory
+/// budget — the analogue of cudaMalloc failing on the V100.
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  OutOfDeviceMemory(std::size_t requested, std::size_t budget)
+      : std::runtime_error("simulated device out of memory: requested " +
+                           std::to_string(requested) + " bytes against budget " +
+                           std::to_string(budget)),
+        requested_(requested),
+        budget_(budget) {}
+
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t budget() const noexcept { return budget_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t budget_;
+};
+
+/// Tracks the current and peak auxiliary ("device") memory of one
+/// algorithm run. Not thread-safe for concurrent charge/release — kernels
+/// allocate from the host side only, as on a GPU.
+class MemoryTracker {
+ public:
+  /// budget == 0 means unlimited.
+  explicit MemoryTracker(std::size_t budget_bytes = 0) noexcept
+      : budget_(budget_bytes) {}
+
+  /// Record an allocation of `bytes`; throws OutOfDeviceMemory if the
+  /// running total would exceed the budget.
+  void charge(std::size_t bytes);
+
+  /// Record a deallocation.
+  void release(std::size_t bytes) noexcept;
+
+  std::size_t current() const noexcept { return current_; }
+  std::size_t peak() const noexcept { return peak_; }
+  std::size_t budget() const noexcept { return budget_; }
+
+  void reset() noexcept { current_ = peak_ = 0; }
+
+ private:
+  std::size_t budget_;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII helper charging a tracker for the lifetime of a container-sized
+/// allocation.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryTracker* tracker, std::size_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_) tracker_->charge(bytes_);
+  }
+  ~ScopedCharge() {
+    if (tracker_) tracker_->release(bytes_);
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  std::size_t bytes_;
+};
+
+}  // namespace fdbscan::exec

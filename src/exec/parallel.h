@@ -1,0 +1,116 @@
+// Data-parallel primitives: parallel_for, parallel_reduce, parallel_scan.
+// These mirror the Kokkos primitives the paper's implementation is written
+// against; every algorithm in this repository is expressed through them.
+//
+// Semantics contract (the "GPU contract"): the functor may be invoked for
+// the indices of [0, n) in any order and concurrently from multiple
+// threads. Any shared state it touches must go through exec/atomic.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace fdbscan::exec {
+
+namespace detail {
+inline std::int64_t default_grain(std::int64_t n, int threads) {
+  // Enough chunks for dynamic load balancing without excessive dispatch.
+  return std::max<std::int64_t>(1, n / (static_cast<std::int64_t>(threads) * 8));
+}
+}  // namespace detail
+
+/// parallel_for: invokes f(i) for every i in [0, n).
+template <class F>
+void parallel_for(std::int64_t n, F&& f) {
+  if (n <= 0) return;
+  auto& p = detail::pool();
+  std::function<void(std::int64_t, std::int64_t)> body =
+      [&f](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) f(i);
+      };
+  p.run(n, detail::default_grain(n, p.workers()), body);
+}
+
+/// parallel_reduce: computes reduce(init, f(0), f(1), ..., f(n-1)) where
+/// `reduce` is an associative, commutative binary op and f(i) -> T.
+template <class T, class F, class R>
+[[nodiscard]] T parallel_reduce(std::int64_t n, T init, F&& f, R&& reduce) {
+  if (n <= 0) return init;
+  auto& p = detail::pool();
+  // One partial per chunk, merged serially at the end. Chunk count is
+  // bounded, so the merge is O(threads * 8).
+  std::vector<T> partials;
+  std::mutex merge_mutex;
+  std::function<void(std::int64_t, std::int64_t)> body =
+      [&](std::int64_t begin, std::int64_t end) {
+        T acc = f(begin);
+        for (std::int64_t i = begin + 1; i < end; ++i) acc = reduce(acc, f(i));
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        partials.push_back(acc);
+      };
+  p.run(n, detail::default_grain(n, p.workers()), body);
+  T total = init;
+  for (const T& x : partials) total = reduce(total, x);
+  return total;
+}
+
+/// Sum-reduction convenience.
+template <class T, class F>
+[[nodiscard]] T parallel_sum(std::int64_t n, F&& f) {
+  return parallel_reduce(
+      n, T{}, std::forward<F>(f), [](T a, T b) { return a + b; });
+}
+
+/// Exclusive prefix sum over data[0..n), in place. Returns the grand total
+/// (i.e. the value that would occupy index n). Two-pass chunked scan.
+template <class T>
+T exclusive_scan(T* data, std::int64_t n) {
+  if (n <= 0) return T{};
+  auto& p = detail::pool();
+  const int workers = p.workers();
+  if (workers == 1 || n < 4096) {
+    T run{};
+    for (std::int64_t i = 0; i < n; ++i) {
+      T v = data[i];
+      data[i] = run;
+      run += v;
+    }
+    return run;
+  }
+  const std::int64_t nchunks = std::min<std::int64_t>(workers * 4, n);
+  const std::int64_t chunk = (n + nchunks - 1) / nchunks;
+  std::vector<T> sums(static_cast<std::size_t>(nchunks), T{});
+  parallel_for(nchunks, [&](std::int64_t c) {
+    const std::int64_t b = c * chunk, e = std::min(b + chunk, n);
+    T s{};
+    for (std::int64_t i = b; i < e; ++i) s += data[i];
+    sums[static_cast<std::size_t>(c)] = s;
+  });
+  T total{};
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    T s = sums[static_cast<std::size_t>(c)];
+    sums[static_cast<std::size_t>(c)] = total;
+    total += s;
+  }
+  parallel_for(nchunks, [&](std::int64_t c) {
+    const std::int64_t b = c * chunk, e = std::min(b + chunk, n);
+    T run = sums[static_cast<std::size_t>(c)];
+    for (std::int64_t i = b; i < e; ++i) {
+      T v = data[i];
+      data[i] = run;
+      run += v;
+    }
+  });
+  return total;
+}
+
+template <class T>
+T exclusive_scan(std::vector<T>& data) {
+  return exclusive_scan(data.data(), static_cast<std::int64_t>(data.size()));
+}
+
+}  // namespace fdbscan::exec

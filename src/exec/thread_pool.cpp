@@ -1,0 +1,118 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "exec/atomic.h"
+
+namespace fdbscan::exec {
+
+namespace {
+
+int default_num_threads() {
+  if (const char* env = std::getenv("FDBSCAN_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int g_num_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<detail::ThreadPool> g_pool;
+
+}  // namespace
+
+int num_threads() noexcept {
+  if (g_num_threads == 0) g_num_threads = default_num_threads();
+  return g_num_threads;
+}
+
+void set_num_threads(int n) {
+  g_num_threads = std::max(1, n);
+  g_pool.reset();  // lazily recreated with the new size
+}
+
+namespace detail {
+
+ThreadPool& pool() {
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(num_threads());
+  return *g_pool;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  // The dispatching thread participates, so spawn workers-1 threads.
+  int extra = std::max(0, workers - 1);
+  threads_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      generation = generation_;
+      seen = generation;
+    }
+    work(generation);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::work(std::uint64_t /*generation*/) {
+  const std::int64_t n = job_n_;
+  const std::int64_t grain = job_grain_;
+  const auto& body = *job_body_;
+  for (;;) {
+    std::int64_t begin = atomic_fetch_add(job_next_, grain);
+    if (begin >= n) break;
+    body(begin, std::min(begin + grain, n));
+  }
+}
+
+void ThreadPool::run(std::int64_t n, std::int64_t grain,
+                     const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (threads_.empty() || n <= grain) {
+    // Serial fast path: no dispatch overhead, still chunked identically.
+    for (std::int64_t b = 0; b < n; b += grain) body(b, std::min(b + grain, n));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_n_ = n;
+    job_grain_ = grain;
+    job_next_ = 0;
+    job_body_ = &body;
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  work(generation_);  // the caller participates
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  job_body_ = nullptr;
+}
+
+}  // namespace detail
+}  // namespace fdbscan::exec

@@ -1,0 +1,66 @@
+// A persistent worker pool that executes flat index spaces with dynamic
+// (work-stealing-counter) scheduling. This is the "device" of the
+// reproduction: the paper runs its kernels on a V100 through Kokkos; we run
+// the identical kernels on a thread pool. See DESIGN.md §2.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdbscan::exec {
+
+/// Number of worker threads used by parallel kernels. Defaults to
+/// FDBSCAN_NUM_THREADS env var if set, otherwise hardware concurrency.
+int num_threads() noexcept;
+
+/// Override the worker count (recreates the pool). Thread-safe with
+/// respect to concurrent parallel dispatches is NOT provided: call only
+/// from the main thread between kernels.
+void set_num_threads(int n);
+
+namespace detail {
+
+/// Internal pool. Dispatches a kernel over [0, n) in dynamically
+/// scheduled chunks; the calling thread participates.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(begin, end) over contiguous chunks covering [0, n).
+  /// Blocks until all chunks are processed. `grain` is the chunk size.
+  void run(std::int64_t n, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  int workers() const noexcept { return static_cast<int>(threads_.size()) + 1; }
+
+ private:
+  void worker_loop();
+  void work(std::uint64_t generation);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+
+  // Current job (valid while active_ > 0).
+  std::int64_t job_n_ = 0;
+  std::int64_t job_grain_ = 1;
+  alignas(64) std::int64_t job_next_ = 0;  // atomic chunk cursor
+  const std::function<void(std::int64_t, std::int64_t)>* job_body_ = nullptr;
+};
+
+ThreadPool& pool();
+
+}  // namespace detail
+}  // namespace fdbscan::exec

@@ -1,0 +1,32 @@
+// Minimal wall-clock stopwatch used for the per-phase timings every
+// algorithm reports.
+#pragma once
+
+#include <chrono>
+
+namespace fdbscan::exec {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Returns seconds elapsed and restarts the stopwatch — convenient for
+  /// sequencing phases.
+  double lap() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fdbscan::exec

@@ -1,0 +1,88 @@
+// Morton (Z-order) codes used by the linear BVH construction (Karras
+// 2012) and by the dense grid to linearize cell coordinates. 64-bit codes:
+// 31 bits per dimension in 2-D, 21 bits per dimension in 3-D.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace fdbscan {
+
+namespace detail {
+
+/// Spreads the low 21 bits of x so that bit i moves to bit 3*i.
+[[nodiscard]] constexpr std::uint64_t expand_bits_3(std::uint64_t x) noexcept {
+  x &= 0x1fffff;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+/// Spreads the low 31 bits of x so that bit i moves to bit 2*i.
+[[nodiscard]] constexpr std::uint64_t expand_bits_2(std::uint64_t x) noexcept {
+  x &= 0x7fffffff;  // 31 bits
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+}  // namespace detail
+
+/// Interleaves integer grid coordinates into a Morton code.
+[[nodiscard]] constexpr std::uint64_t morton2(std::uint32_t x,
+                                              std::uint32_t y) noexcept {
+  return detail::expand_bits_2(x) | (detail::expand_bits_2(y) << 1);
+}
+
+[[nodiscard]] constexpr std::uint64_t morton3(std::uint32_t x, std::uint32_t y,
+                                              std::uint32_t z) noexcept {
+  return detail::expand_bits_3(x) | (detail::expand_bits_3(y) << 1) |
+         (detail::expand_bits_3(z) << 2);
+}
+
+/// Bits of grid resolution per dimension used for BVH Morton codes.
+template <int DIM>
+constexpr int morton_bits_per_dim() noexcept {
+  return DIM == 2 ? 31 : (DIM == 3 ? 21 : 63 / DIM);
+}
+
+/// Maps a point to its Morton code within `scene`: coordinates are
+/// normalized to [0, 1) over the scene bounds and quantized.
+template <int DIM>
+[[nodiscard]] inline std::uint64_t morton_code(const Point<DIM>& p,
+                                               const Box<DIM>& scene) noexcept {
+  constexpr int bits = morton_bits_per_dim<DIM>();
+  constexpr std::uint64_t buckets = 1ULL << bits;
+  std::uint32_t q[DIM > 0 ? DIM : 1];
+  for (int d = 0; d < DIM; ++d) {
+    const float extent = scene.max[d] - scene.min[d];
+    float t = extent > 0.0f ? (p[d] - scene.min[d]) / extent : 0.0f;
+    if (t < 0.0f) t = 0.0f;
+    if (t >= 1.0f) t = 0x1.fffffep-1f;  // largest float < 1
+    q[d] = static_cast<std::uint32_t>(t * static_cast<float>(buckets));
+    if (q[d] >= buckets) q[d] = static_cast<std::uint32_t>(buckets - 1);
+  }
+  if constexpr (DIM == 2) {
+    return morton2(q[0], q[1]);
+  } else if constexpr (DIM == 3) {
+    return morton3(q[0], q[1], q[2]);
+  } else {
+    // Generic bit interleave for other low dimensions.
+    std::uint64_t code = 0;
+    for (int b = 0; b < bits; ++b)
+      for (int d = 0; d < DIM; ++d)
+        code |= ((static_cast<std::uint64_t>(q[d]) >> b) & 1ULL)
+                << (b * DIM + d);
+    return code;
+  }
+}
+
+}  // namespace fdbscan

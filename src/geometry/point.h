@@ -1,0 +1,59 @@
+// Low-dimensional point type and distance kernels. The paper targets
+// "low-dimensional (e.g., spatial) data"; DIM = 2 and DIM = 3 are the
+// instantiations used throughout, with single-precision coordinates as on
+// the GPU.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace fdbscan {
+
+template <int DIM>
+struct Point {
+  static_assert(DIM >= 1 && DIM <= 6, "designed for low-dimensional data");
+  std::array<float, DIM> coords{};
+
+  float& operator[](int d) noexcept { return coords[static_cast<std::size_t>(d)]; }
+  float operator[](int d) const noexcept {
+    return coords[static_cast<std::size_t>(d)];
+  }
+
+  friend bool operator==(const Point& a, const Point& b) noexcept {
+    return a.coords == b.coords;
+  }
+};
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+/// Squared Euclidean distance — the workhorse of all range predicates
+/// (the square root is never needed; comparisons use eps^2).
+template <int DIM>
+[[nodiscard]] inline float squared_distance(const Point<DIM>& a,
+                                            const Point<DIM>& b) noexcept {
+  float s = 0.0f;
+  for (int d = 0; d < DIM; ++d) {
+    const float diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+template <int DIM>
+[[nodiscard]] inline float distance(const Point<DIM>& a,
+                                    const Point<DIM>& b) noexcept {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// DBSCAN's eps-neighborhood predicate: dist(a, b) <= eps.
+/// (The paper's set definition uses strict <, its Alg. 3 uses <=; every
+/// implementation it compares against uses <=, which we follow.)
+template <int DIM>
+[[nodiscard]] inline bool within(const Point<DIM>& a, const Point<DIM>& b,
+                                 float eps_squared) noexcept {
+  return squared_distance(a, b) <= eps_squared;
+}
+
+}  // namespace fdbscan

@@ -1,0 +1,118 @@
+// Uniform-grid neighbor index with cell width eps: a range query visits
+// the 3^d adjacent cells of the query point's cell. This is the classic
+// cell-directory indexing used by CUDA-DClust* and by Sewell et al. [36],
+// implemented sparsely (sorted cell keys + binary search) so empty cells
+// cost nothing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "exec/radix_sort.h"
+#include "geometry/point.h"
+#include "grid/dense_grid.h"
+
+namespace fdbscan {
+
+template <int DIM>
+class UniformGridIndex {
+ public:
+  UniformGridIndex(const std::vector<Point<DIM>>& points, float eps)
+      : points_(points), eps2_(eps * eps) {
+    Box<DIM> domain = bounds_of(points.data(), points.size());
+    // Reuse GridSpec but with cell width == eps (not eps/sqrt(d)): a
+    // query sphere then overlaps at most the 3^d surrounding cells.
+    spec_.domain = domain;
+    spec_.cell_width = eps;
+    unsigned __int128 total = 1;
+    for (int d = 0; d < DIM; ++d) {
+      const float extent = domain.max[d] - domain.min[d];
+      const double count = std::ceil(static_cast<double>(extent) /
+                                     static_cast<double>(eps)) +
+                           1.0;
+      if (count >= 9.0e18) {
+        throw std::overflow_error("UniformGridIndex: cell count overflow");
+      }
+      spec_.dims[d] = std::max<std::int64_t>(1, static_cast<std::int64_t>(count));
+      total *= static_cast<unsigned __int128>(spec_.dims[d]);
+      if (total > static_cast<unsigned __int128>(UINT64_MAX)) {
+        throw std::overflow_error("UniformGridIndex: cell index overflow");
+      }
+    }
+    spec_.total_cells = static_cast<std::uint64_t>(total);
+
+    const auto n = points.size();
+    std::vector<std::uint64_t> key_of(n);
+    for (std::size_t i = 0; i < n; ++i) key_of[i] = spec_.cell_key(points[i]);
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    exec::radix_sort_pairs(key_of, order_);  // key_of is now by position
+    std::size_t run = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      if (i == n || key_of[i] != key_of[run]) {
+        cell_keys_.push_back(key_of[run]);
+        cell_begin_.push_back(static_cast<std::int32_t>(run));
+        run = i;
+      }
+    }
+    cell_begin_.push_back(static_cast<std::int32_t>(n));
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const noexcept {
+    return order_.size() * sizeof(std::int32_t) +
+           cell_keys_.size() * sizeof(std::uint64_t) +
+           cell_begin_.size() * sizeof(std::int32_t);
+  }
+
+  /// Collects the ids of all points within eps of p (including p itself
+  /// if it is a member of the indexed set) into `out`. Returns the number
+  /// of candidate points whose distance was evaluated.
+  std::int64_t neighbors(const Point<DIM>& p,
+                         std::vector<std::int32_t>& out) const {
+    out.clear();
+    std::int64_t base[DIM];
+    spec_.cell_coords(p, base);
+    std::int64_t nb[DIM];
+    return visit_cells(p, base, nb, 0, out);
+  }
+
+ private:
+  std::int64_t visit_cells(const Point<DIM>& p, const std::int64_t base[DIM],
+                           std::int64_t nb[DIM], int dim,
+                           std::vector<std::int32_t>& out) const {
+    if (dim == DIM) return scan_cell(p, spec_.linearize(nb), out);
+    std::int64_t tested = 0;
+    for (std::int64_t dd = -1; dd <= 1; ++dd) {
+      const std::int64_t c = base[dim] + dd;
+      if (c < 0 || c >= spec_.dims[dim]) continue;
+      nb[dim] = c;
+      tested += visit_cells(p, base, nb, dim + 1, out);
+    }
+    return tested;
+  }
+
+  std::int64_t scan_cell(const Point<DIM>& p, std::uint64_t key,
+                         std::vector<std::int32_t>& out) const {
+    const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), key);
+    if (it == cell_keys_.end() || *it != key) return 0;
+    const auto c = static_cast<std::size_t>(it - cell_keys_.begin());
+    for (std::int32_t k = cell_begin_[c]; k < cell_begin_[c + 1]; ++k) {
+      const std::int32_t id = order_[static_cast<std::size_t>(k)];
+      if (within(p, points_[static_cast<std::size_t>(id)], eps2_)) {
+        out.push_back(id);
+      }
+    }
+    return cell_begin_[c + 1] - cell_begin_[c];
+  }
+
+  const std::vector<Point<DIM>>& points_;
+  float eps2_;
+  GridSpec<DIM> spec_;
+  std::vector<std::int32_t> order_;        // point ids grouped by cell
+  std::vector<std::uint64_t> cell_keys_;   // sorted occupied cell keys
+  std::vector<std::int32_t> cell_begin_;   // size cells+1, ranges in order_
+};
+
+}  // namespace fdbscan

@@ -1,0 +1,121 @@
+// Median-split k-d tree (Bentley 1975). The classic spatial index the
+// DBSCAN literature pairs with Algorithm 1 to reach O(n log n); used here
+// by the sequential reference implementation and by the BVH-vs-kd-tree
+// index ablation (the paper's claim is that a BVH is the better traversal
+// structure for low-dimensional data on wide parallel hardware).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace fdbscan {
+
+template <int DIM>
+class KdTree {
+ public:
+  /// Points with fewer than this many entries become a leaf bucket.
+  static constexpr std::int32_t kLeafSize = 16;
+
+  explicit KdTree(const std::vector<Point<DIM>>& points) : points_(points) {
+    ids_.resize(points.size());
+    std::iota(ids_.begin(), ids_.end(), 0);
+    if (!points_.empty()) {
+      nodes_.reserve(2 * points.size() / kLeafSize + 2);
+      root_ = build(0, static_cast<std::int32_t>(points.size()), 0);
+    }
+  }
+
+  [[nodiscard]] std::int32_t size() const noexcept {
+    return static_cast<std::int32_t>(points_.size());
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const noexcept {
+    return nodes_.size() * sizeof(Node) + ids_.size() * sizeof(std::int32_t);
+  }
+
+  /// Visits every point id within sqrt(eps_squared) of p. The callback
+  /// returns TraversalControl and may terminate early. If `tested` is
+  /// non-null it accumulates the number of point distance computations.
+  template <class Callback>
+  void for_each_near(const Point<DIM>& p, float eps_squared, Callback&& cb,
+                     std::int64_t* tested = nullptr) const {
+    if (points_.empty()) return;
+    std::int32_t stack[64];
+    int top = 0;
+    stack[top++] = root_;
+    while (top > 0) {
+      const Node& node = nodes_[static_cast<std::size_t>(stack[--top])];
+      if (node.is_leaf()) {
+        if (tested) *tested += node.end - node.begin;
+        for (std::int32_t k = node.begin; k < node.end; ++k) {
+          const std::int32_t id = ids_[static_cast<std::size_t>(k)];
+          if (squared_distance(p, points_[static_cast<std::size_t>(id)]) <=
+              eps_squared) {
+            if (cb(id) == TraversalControlKd::kTerminate) return;
+          }
+        }
+        continue;
+      }
+      const float diff = p[node.axis] - node.split;
+      const std::int32_t near_child = diff <= 0.0f ? node.left : node.right;
+      const std::int32_t far_child = diff <= 0.0f ? node.right : node.left;
+      if (diff * diff <= eps_squared) stack[top++] = far_child;
+      stack[top++] = near_child;
+    }
+  }
+
+  /// Local traversal-control enum (kept distinct from the BVH's so this
+  /// header stands alone).
+  enum class TraversalControlKd : std::uint8_t { kContinue, kTerminate };
+
+ private:
+  struct Node {
+    float split = 0.0f;
+    std::int32_t axis = -1;          // -1 marks a leaf
+    std::int32_t left = -1;          // internal: child node ids
+    std::int32_t right = -1;
+    std::int32_t begin = 0, end = 0;  // leaf: range into ids_
+
+    [[nodiscard]] bool is_leaf() const noexcept { return axis < 0; }
+  };
+
+  std::int32_t build(std::int32_t begin, std::int32_t end, int depth) {
+    const auto node_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    if (end - begin <= kLeafSize) {
+      nodes_[static_cast<std::size_t>(node_id)].begin = begin;
+      nodes_[static_cast<std::size_t>(node_id)].end = end;
+      return node_id;
+    }
+    const int axis = depth % DIM;
+    const std::int32_t mid = begin + (end - begin) / 2;
+    std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                     ids_.begin() + end, [&](std::int32_t a, std::int32_t b) {
+                       return points_[static_cast<std::size_t>(a)][axis] <
+                              points_[static_cast<std::size_t>(b)][axis];
+                     });
+    const float split =
+        points_[static_cast<std::size_t>(
+            ids_[static_cast<std::size_t>(mid)])][axis];
+    const std::int32_t left = build(begin, mid, depth + 1);
+    const std::int32_t right = build(mid, end, depth + 1);
+    Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.axis = axis;
+    node.split = split;
+    node.left = left;
+    node.right = right;
+    return node_id;
+  }
+
+  const std::vector<Point<DIM>>& points_;
+  std::vector<std::int32_t> ids_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = 0;
+};
+
+}  // namespace fdbscan

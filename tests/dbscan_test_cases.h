@@ -1,0 +1,96 @@
+// Shared parameterized cases for validating complete DBSCAN
+// implementations against the brute-force ground truth.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/clustering.h"
+#include "data/generators.h"
+#include "geometry/point.h"
+#include "test_utils.h"
+
+namespace fdbscan::testing {
+
+enum class Dataset2 : std::uint8_t {
+  kUniform,
+  kClustered,
+  kNgsimLike,
+  kPortoLike,
+  kRoadLike,
+  kIdentical,   // all points coincide
+  kCollinear,   // a 1-D chain of equidistant points
+};
+
+struct DbscanCase {
+  Dataset2 dataset;
+  std::int64_t n;
+  float eps;
+  std::int32_t minpts;
+  int threads;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const DbscanCase& c) {
+    return os << "dataset=" << static_cast<int>(c.dataset) << " n=" << c.n
+              << " eps=" << c.eps << " minpts=" << c.minpts
+              << " threads=" << c.threads << " seed=" << c.seed;
+  }
+};
+
+inline std::vector<Point2> make_dataset(const DbscanCase& c) {
+  switch (c.dataset) {
+    case Dataset2::kUniform:
+      return random_points<2>(c.n, 1.0f, c.seed);
+    case Dataset2::kClustered:
+      return clustered_points<2>(c.n, 6, 1.0f, c.eps * 0.8f, c.seed);
+    case Dataset2::kNgsimLike:
+      return data::ngsim_like(c.n, c.seed);
+    case Dataset2::kPortoLike:
+      return data::porto_taxi_like(c.n, c.seed);
+    case Dataset2::kRoadLike:
+      return data::road_network_like(c.n, c.seed);
+    case Dataset2::kIdentical:
+      return std::vector<Point2>(static_cast<std::size_t>(c.n),
+                                 Point2{{0.25f, 0.75f}});
+    case Dataset2::kCollinear: {
+      std::vector<Point2> pts(static_cast<std::size_t>(c.n));
+      for (std::int64_t i = 0; i < c.n; ++i) {
+        // Spacing exactly eps: every consecutive pair is a neighbor
+        // (inclusive boundary), exercising the <=-vs-< convention.
+        pts[static_cast<std::size_t>(i)] = {
+            {static_cast<float>(i) * c.eps, 0.0f}};
+      }
+      return pts;
+    }
+  }
+  return {};
+}
+
+/// The standard sweep used by every complete-algorithm test suite:
+/// datasets x (eps, minpts) x thread counts, chosen to hit the minpts<=2
+/// fast path, border-heavy settings, all-noise and all-one-cluster
+/// regimes, and true concurrency.
+inline std::vector<DbscanCase> standard_cases() {
+  return {
+      {Dataset2::kUniform, 600, 0.05f, 5, 1, 101},
+      {Dataset2::kUniform, 600, 0.05f, 2, 4, 102},    // FoF fast path
+      {Dataset2::kUniform, 400, 0.02f, 4, 2, 103},    // mostly noise
+      {Dataset2::kUniform, 300, 0.5f, 5, 4, 104},     // one giant cluster
+      {Dataset2::kClustered, 800, 0.01f, 8, 4, 105},  // dense cells + noise
+      {Dataset2::kClustered, 800, 0.01f, 2, 1, 106},
+      {Dataset2::kClustered, 500, 0.008f, 30, 8, 107},  // heavy borders
+      {Dataset2::kNgsimLike, 700, 0.005f, 10, 4, 108},
+      {Dataset2::kPortoLike, 700, 0.01f, 5, 4, 109},
+      {Dataset2::kRoadLike, 700, 0.01f, 5, 4, 110},
+      {Dataset2::kIdentical, 150, 0.01f, 5, 4, 111},
+      {Dataset2::kCollinear, 200, 0.01f, 3, 4, 112},
+      {Dataset2::kCollinear, 200, 0.01f, 2, 1, 113},
+      {Dataset2::kUniform, 1, 0.1f, 5, 1, 114},  // single point
+      {Dataset2::kUniform, 2, 10.0f, 2, 1, 115},  // one pair
+      {Dataset2::kUniform, 500, 0.05f, 1, 4, 116},  // minpts=1 degenerate
+  };
+}
+
+}  // namespace fdbscan::testing

@@ -1,0 +1,110 @@
+#include "exec/atomic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "test_utils.h"
+
+namespace fdbscan::exec {
+namespace {
+
+TEST(Atomic, LoadStoreRoundTrip) {
+  std::int32_t x = 7;
+  EXPECT_EQ(atomic_load(x), 7);
+  atomic_store(x, 42);
+  EXPECT_EQ(atomic_load(x), 42);
+  atomic_store_relaxed(x, -5);
+  EXPECT_EQ(atomic_load_relaxed(x), -5);
+}
+
+TEST(Atomic, CasSucceedsOnMatch) {
+  std::int32_t x = 10;
+  std::int32_t expected = 10;
+  EXPECT_TRUE(atomic_cas(x, expected, 20));
+  EXPECT_EQ(x, 20);
+}
+
+TEST(Atomic, CasFailsAndReportsObservedValue) {
+  std::int32_t x = 10;
+  std::int32_t expected = 99;
+  EXPECT_FALSE(atomic_cas(x, expected, 20));
+  EXPECT_EQ(expected, 10);  // updated to the observed value
+  EXPECT_EQ(x, 10);         // unchanged
+}
+
+TEST(Atomic, FetchAddReturnsPrevious) {
+  std::int64_t x = 100;
+  EXPECT_EQ(atomic_fetch_add(x, std::int64_t{5}), 100);
+  EXPECT_EQ(x, 105);
+}
+
+TEST(Atomic, FetchMinKeepsSmaller) {
+  std::int32_t x = 10;
+  EXPECT_EQ(atomic_fetch_min(x, 20), 10);
+  EXPECT_EQ(x, 10);  // 20 is not smaller
+  EXPECT_EQ(atomic_fetch_min(x, 3), 10);
+  EXPECT_EQ(x, 3);
+}
+
+TEST(Atomic, FetchMaxKeepsLarger) {
+  std::int32_t x = 10;
+  EXPECT_EQ(atomic_fetch_max(x, 5), 10);
+  EXPECT_EQ(x, 10);
+  EXPECT_EQ(atomic_fetch_max(x, 30), 10);
+  EXPECT_EQ(x, 30);
+}
+
+TEST(Atomic, FloatMinMax) {
+  float x = 1.5f;
+  atomic_fetch_min(x, 0.25f);
+  EXPECT_FLOAT_EQ(x, 0.25f);
+  atomic_fetch_max(x, 9.0f);
+  EXPECT_FLOAT_EQ(x, 9.0f);
+}
+
+class AtomicConcurrent : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtomicConcurrent, FetchAddCountsEveryIncrement) {
+  testing::ScopedThreads threads(GetParam());
+  std::int64_t counter = 0;
+  constexpr std::int64_t kN = 100000;
+  parallel_for(kN, [&](std::int64_t) {
+    atomic_fetch_add(counter, std::int64_t{1});
+  });
+  EXPECT_EQ(counter, kN);
+}
+
+TEST_P(AtomicConcurrent, FetchMinFindsGlobalMinimum) {
+  testing::ScopedThreads threads(GetParam());
+  constexpr std::int64_t kN = 50000;
+  std::int32_t best = INT32_MAX;
+  parallel_for(kN, [&](std::int64_t i) {
+    // A scrambled sequence whose minimum is 1.
+    atomic_fetch_min(best,
+                     static_cast<std::int32_t>((i * 2654435761u) % kN) + 1);
+  });
+  EXPECT_EQ(best, 1);
+}
+
+TEST_P(AtomicConcurrent, CasClaimHasExactlyOneWinner) {
+  testing::ScopedThreads threads(GetParam());
+  std::int32_t slot = -1;
+  std::int64_t winners = 0;
+  parallel_for(1000, [&](std::int64_t i) {
+    std::int32_t expected = -1;
+    if (atomic_cas(slot, expected, static_cast<std::int32_t>(i))) {
+      atomic_fetch_add(winners, std::int64_t{1});
+    }
+  });
+  EXPECT_EQ(winners, 1);
+  EXPECT_GE(slot, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, AtomicConcurrent,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace fdbscan::exec

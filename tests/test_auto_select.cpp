@@ -1,0 +1,108 @@
+#include "core/auto_select.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+TEST(EstimateDenseFraction, ZeroOnEmptyInput) {
+  std::vector<Point2> points;
+  EXPECT_DOUBLE_EQ(estimate_dense_fraction(points, Parameters{0.1f, 5}), 0.0);
+}
+
+TEST(EstimateDenseFraction, HighOnDenseData) {
+  auto points = data::road_network_like(16384, 401);
+  const double fraction =
+      estimate_dense_fraction(points, Parameters{0.08f, 100});
+  EXPECT_GT(fraction, 0.8);
+}
+
+TEST(EstimateDenseFraction, LowOnSparseData) {
+  auto points = testing::random_points<2>(16384, 100.0f, 402);
+  const double fraction =
+      estimate_dense_fraction(points, Parameters{0.05f, 10});
+  EXPECT_LT(fraction, 0.05);
+}
+
+TEST(EstimateDenseFraction, TracksExactFractionOnFullSample) {
+  // With sample_size >= n the estimate is exact.
+  auto points = data::ngsim_like(4000, 403);
+  const Parameters params{0.005f, 50};
+  AutoSelectConfig config;
+  config.sample_size = 4000;
+  const double estimate = estimate_dense_fraction(points, params, config);
+  DenseGrid<2> grid(points, params.eps, params.minpts);
+  const double exact = static_cast<double>(grid.points_in_dense_cells()) /
+                       static_cast<double>(points.size());
+  EXPECT_NEAR(estimate, exact, 1e-12);
+}
+
+TEST(EstimateDenseFraction, SubsampleApproximatesFullFraction) {
+  auto points = data::road_network_like(30000, 404);
+  const Parameters params{0.08f, 100};
+  AutoSelectConfig config;
+  config.sample_size = 3000;
+  const double estimate = estimate_dense_fraction(points, params, config);
+  DenseGrid<2> grid(points, params.eps, params.minpts);
+  const double exact = static_cast<double>(grid.points_in_dense_cells()) /
+                       static_cast<double>(points.size());
+  EXPECT_NEAR(estimate, exact, 0.15);
+}
+
+TEST(AutoSelect, PicksDenseBoxOnRoadData) {
+  auto points = data::road_network_like(8000, 405);
+  const auto result = fdbscan_auto(points, Parameters{0.08f, 50});
+  EXPECT_TRUE(result.used_densebox);
+  EXPECT_GT(result.clustering.num_dense_cells, 0);
+}
+
+TEST(AutoSelect, PicksFdbscanOnSparseCosmology) {
+  auto points = data::hacc_like(8000, 406);
+  // At paper density a small sample in the default 64^3 box is extremely
+  // sparse at eps = 0.042: no dense cells.
+  const auto result = fdbscan_auto(points, Parameters{0.042f, 50});
+  EXPECT_FALSE(result.used_densebox);
+  EXPECT_EQ(result.clustering.num_dense_cells, 0);
+}
+
+TEST(AutoSelect, ResultMatchesGroundTruthEitherWay) {
+  for (std::uint64_t seed : {407u, 408u}) {
+    auto dense = data::ngsim_like(2000, seed);
+    auto sparse = testing::random_points<2>(2000, 10.0f, seed);
+    for (const auto& points : {dense, sparse}) {
+      const Parameters params{0.01f, 8};
+      const auto result = fdbscan_auto(points, params);
+      const auto check =
+          matches_ground_truth(points, params, result.clustering);
+      EXPECT_TRUE(check.ok) << check.message;
+    }
+  }
+}
+
+TEST(AutoSelect, ThresholdIsRespected) {
+  auto points = data::ngsim_like(8000, 409);
+  const Parameters params{0.005f, 20};
+  AutoSelectConfig always_densebox, never_densebox;
+  always_densebox.densebox_threshold = 0.0;
+  never_densebox.densebox_threshold = 1.1;  // unreachable
+  EXPECT_TRUE(
+      fdbscan_auto(points, params, {}, always_densebox).used_densebox);
+  EXPECT_FALSE(
+      fdbscan_auto(points, params, {}, never_densebox).used_densebox);
+}
+
+TEST(AutoSelect, EstimateIsDeterministicInSeed) {
+  auto points = data::porto_taxi_like(20000, 410);
+  const Parameters params{0.01f, 20};
+  AutoSelectConfig config;
+  config.sample_size = 2000;
+  EXPECT_DOUBLE_EQ(estimate_dense_fraction(points, params, config),
+                   estimate_dense_fraction(points, params, config));
+}
+
+}  // namespace
+}  // namespace fdbscan

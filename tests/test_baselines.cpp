@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/dsdbscan.h"
+#include "baselines/gdbscan.h"
+#include "baselines/sequential_dbscan.h"
+#include "core/validate.h"
+#include "dbscan_test_cases.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::DbscanCase;
+using testing::make_dataset;
+using testing::ScopedThreads;
+using testing::standard_cases;
+
+class BaselineGroundTruth : public ::testing::TestWithParam<DbscanCase> {
+ protected:
+  void run_case(auto&& algorithm) {
+    const auto c = GetParam();
+    ScopedThreads threads(c.threads);
+    const auto points = make_dataset(c);
+    const Parameters params{c.eps, c.minpts};
+    const auto result = algorithm(points, params);
+    const auto check = matches_ground_truth(points, params, result);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+};
+
+TEST_P(BaselineGroundTruth, SequentialDbscan) {
+  run_case([](const auto& pts, const Parameters& p) {
+    return baselines::sequential_dbscan(pts, p);
+  });
+}
+
+TEST_P(BaselineGroundTruth, Dsdbscan) {
+  run_case([](const auto& pts, const Parameters& p) {
+    return baselines::dsdbscan(pts, p);
+  });
+}
+
+TEST_P(BaselineGroundTruth, Gdbscan) {
+  run_case([](const auto& pts, const Parameters& p) {
+    return baselines::gdbscan(pts, p);
+  });
+}
+
+TEST_P(BaselineGroundTruth, CudaDclust) {
+  run_case([](const auto& pts, const Parameters& p) {
+    return baselines::cuda_dclust(pts, p);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineGroundTruth,
+                         ::testing::ValuesIn(standard_cases()));
+
+TEST(SequentialDbscan, DbscanStarVariant) {
+  auto points = testing::clustered_points<2>(600, 4, 1.0f, 0.01f, 81);
+  const Parameters params{0.02f, 8};
+  const auto result =
+      baselines::sequential_dbscan(points, params, Variant::kDbscanStar);
+  const auto check =
+      matches_ground_truth(points, params, result, Variant::kDbscanStar);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Gdbscan, StoresTheFullAdjacencyGraph) {
+  // The defining memory behaviour: peak memory grows with neighbor
+  // count, not just n. Same n, denser data -> much more memory.
+  auto points = testing::random_points<2>(2000, 1.0f, 82);
+  exec::MemoryTracker sparse_tracker, dense_tracker;
+  (void)baselines::gdbscan(points, Parameters{0.01f, 5}, &sparse_tracker);
+  (void)baselines::gdbscan(points, Parameters{0.5f, 5}, &dense_tracker);
+  EXPECT_GT(dense_tracker.peak(), 20 * sparse_tracker.peak());
+}
+
+TEST(Gdbscan, RunsOutOfDeviceMemoryOnDenseData) {
+  // Fig. 4(h)'s missing points: the adjacency graph exceeds the device
+  // budget and the algorithm aborts.
+  auto points = testing::random_points<2>(3000, 1.0f, 83);
+  exec::MemoryTracker tight(200 * 1024);  // 200 KiB "GPU"
+  EXPECT_THROW(
+      (void)baselines::gdbscan(points, Parameters{0.5f, 5}, &tight),
+      exec::OutOfDeviceMemory);
+}
+
+TEST(Gdbscan, FitsWhenEpsIsSmall) {
+  auto points = testing::random_points<2>(3000, 1.0f, 83);
+  exec::MemoryTracker tight(400 * 1024);
+  EXPECT_NO_THROW(
+      (void)baselines::gdbscan(points, Parameters{0.001f, 5}, &tight));
+}
+
+TEST(CudaDclust, SingleChainConfiguration) {
+  auto points = testing::clustered_points<2>(500, 3, 1.0f, 0.01f, 84);
+  const Parameters params{0.02f, 5};
+  baselines::CudaDclustConfig config;
+  config.chains_per_round = 1;  // fully sequential chain growth
+  const auto result = baselines::cuda_dclust(points, params, config);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(CudaDclust, ManyChainsUnderConcurrency) {
+  ScopedThreads threads(8);
+  auto points = testing::clustered_points<2>(2000, 6, 1.0f, 0.008f, 85);
+  const Parameters params{0.015f, 4};
+  baselines::CudaDclustConfig config;
+  config.chains_per_round = 256;  // heavy chain collision pressure
+  const auto result = baselines::cuda_dclust(points, params, config);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(CudaDclust, CollisionHeavyRing) {
+  // A single connected ring carved into many chains: every chain must
+  // collide and merge back into one cluster.
+  ScopedThreads threads(8);
+  std::vector<Point2> points;
+  constexpr int kN = 720;
+  for (int i = 0; i < kN; ++i) {
+    const float a = static_cast<float>(i) * 2.0f * 3.14159265f / kN;
+    points.push_back({{std::cos(a), std::sin(a)}});
+  }
+  const Parameters params{0.02f, 3};
+  baselines::CudaDclustConfig config;
+  config.chains_per_round = 64;
+  const auto result = baselines::cuda_dclust(points, params, config);
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.num_noise(), 0);
+}
+
+TEST(Baselines, AllAgreeOnModerateDataset) {
+  ScopedThreads threads(4);
+  auto points = data::porto_taxi_like(1200, 86);
+  const Parameters params{0.005f, 6};
+  const auto reference = baselines::sequential_dbscan(points, params);
+  for (const auto& result :
+       {baselines::dsdbscan(points, params),
+        baselines::gdbscan(points, params),
+        baselines::cuda_dclust(points, params)}) {
+    const auto check =
+        equivalent_clusterings(points, params, reference, result);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+}  // namespace
+}  // namespace fdbscan

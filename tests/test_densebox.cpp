@@ -1,0 +1,160 @@
+#include "core/fdbscan_densebox.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fdbscan.h"
+#include "core/validate.h"
+#include "dbscan_test_cases.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::DbscanCase;
+using testing::make_dataset;
+using testing::ScopedThreads;
+using testing::standard_cases;
+
+class DenseBoxGroundTruth : public ::testing::TestWithParam<DbscanCase> {};
+
+TEST_P(DenseBoxGroundTruth, MatchesBruteForce) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  const auto result = fdbscan_densebox(points, params);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(DenseBoxGroundTruth, DbscanStarMatchesBruteForce) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  Options options;
+  options.variant = Variant::kDbscanStar;
+  const auto result = fdbscan_densebox(points, params, options);
+  const auto check =
+      matches_ground_truth(points, params, result, Variant::kDbscanStar);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(DenseBoxGroundTruth, AgreesWithFdbscan) {
+  // The two proposed algorithms implement the same specification; they
+  // must agree up to relabeling on every input.
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  const auto a = fdbscan(points, params);
+  const auto b = fdbscan_densebox(points, params);
+  const auto check = equivalent_clusterings(points, params, a, b);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenseBoxGroundTruth,
+                         ::testing::ValuesIn(standard_cases()));
+
+TEST(DenseBox, EmptyInput) {
+  std::vector<Point2> points;
+  const auto result = fdbscan_densebox(points, Parameters{0.1f, 5});
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(DenseBox, ReportsDenseCellStatistics) {
+  // All points piled into one spot: a single dense cell holding everyone.
+  std::vector<Point2> points(100, Point2{{0.5f, 0.5f}});
+  const auto result = fdbscan_densebox(points, Parameters{0.1f, 5});
+  EXPECT_EQ(result.num_dense_cells, 1);
+  EXPECT_EQ(result.points_in_dense_cells, 100);
+  EXPECT_EQ(result.num_clusters, 1);
+}
+
+TEST(DenseBox, NoDenseCellsWhenSparse) {
+  auto points = testing::random_points<2>(200, 100.0f, 61);
+  const auto result = fdbscan_densebox(points, Parameters{0.1f, 5});
+  EXPECT_EQ(result.num_dense_cells, 0);
+  EXPECT_EQ(result.points_in_dense_cells, 0);
+}
+
+TEST(DenseBox, AdjacentDenseCellsMergeIntoOneCluster) {
+  // Two dense blobs closer than eps must form a single cluster even
+  // though they occupy different grid cells.
+  std::vector<Point2> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({{0.001f * static_cast<float>(i % 7), 0.0f}});
+    points.push_back(
+        {{0.05f + 0.001f * static_cast<float>(i % 7), 0.0f}});
+  }
+  const Parameters params{0.06f, 5};
+  const auto result = fdbscan_densebox(points, params);
+  EXPECT_EQ(result.num_clusters, 1);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(DenseBox, FarApartDenseCellsStaySeparate) {
+  std::vector<Point2> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({{0.001f * static_cast<float>(i % 7), 0.0f}});
+    points.push_back({{5.0f + 0.001f * static_cast<float>(i % 7), 0.0f}});
+  }
+  const auto result = fdbscan_densebox(points, Parameters{0.06f, 5});
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(DenseBox, BorderPointAttachesToDenseCellCluster) {
+  // A dense cell (40 points at x=0 plus 5 bridge points at x=0.06, all
+  // within one eps/sqrt(2) ~ 0.0707 cell) and a lone point at x=0.15:
+  // the lone point reaches only the 5 bridge points + itself (6 < 20),
+  // so it is a border point of the dense cell's cluster.
+  std::vector<Point2> points(40, Point2{{0.0f, 0.0f}});
+  points.insert(points.end(), 5, Point2{{0.06f, 0.0f}});
+  points.push_back({{0.15f, 0.0f}});
+  const Parameters params{0.1f, 20};
+  const auto result = fdbscan_densebox(points, params);
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.num_dense_cells, 1);
+  EXPECT_EQ(result.labels.back(), result.labels.front());
+  EXPECT_EQ(result.is_core.back(), 0);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(DenseBox, ThreeDimensionalCosmologySample) {
+  ScopedThreads threads(4);
+  auto points = data::hacc_like(1500, 71);
+  const Parameters params{0.5f, 5};
+  const auto result = fdbscan_densebox(points, params);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(DenseBox, MemoryIsLinearInN) {
+  exec::MemoryTracker small_tracker, large_tracker;
+  Options options;
+  auto small = testing::clustered_points<2>(1000, 4, 1.0f, 0.01f, 72);
+  auto large = testing::clustered_points<2>(8000, 4, 1.0f, 0.01f, 72);
+  options.memory = &small_tracker;
+  (void)fdbscan_densebox(small, Parameters{0.05f, 5}, options);
+  options.memory = &large_tracker;
+  (void)fdbscan_densebox(large, Parameters{0.05f, 5}, options);
+  const double ratio = static_cast<double>(large_tracker.peak()) /
+                       static_cast<double>(small_tracker.peak());
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(DenseBox, DenseFractionGrowsWithEps) {
+  // §5.2's observation: larger eps -> larger cells -> more points in
+  // dense cells.
+  auto points = data::hacc_like(5000, 73);
+  const auto small_eps = fdbscan_densebox(points, Parameters{0.2f, 5});
+  const auto large_eps = fdbscan_densebox(points, Parameters{2.0f, 5});
+  EXPECT_GT(large_eps.points_in_dense_cells,
+            small_eps.points_in_dense_cells);
+}
+
+}  // namespace
+}  // namespace fdbscan

@@ -1,0 +1,158 @@
+#include "distributed/distributed_dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fdbscan.h"
+#include "core/validate.h"
+#include "data/generators.h"
+#include "test_utils.h"
+
+namespace fdbscan::distributed {
+namespace {
+
+template <int DIM>
+DistributedConfig<DIM> make_config(std::initializer_list<std::int32_t> dims) {
+  DistributedConfig<DIM> config;
+  int d = 0;
+  for (auto v : dims) config.ranks_per_dim[d++] = v;
+  return config;
+}
+
+struct DistCase {
+  std::int32_t rx, ry;
+  std::int64_t n;
+  float eps;
+  std::int32_t minpts;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const DistCase& c) {
+    return os << c.rx << "x" << c.ry << " n=" << c.n << " eps=" << c.eps
+              << " minpts=" << c.minpts << " seed=" << c.seed;
+  }
+};
+
+class DistributedGroundTruth : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedGroundTruth, MatchesBruteForce) {
+  const auto c = GetParam();
+  auto points = testing::clustered_points<2>(c.n, 5, 1.0f, c.eps, c.seed);
+  const Parameters params{c.eps, c.minpts};
+  const auto result =
+      distributed_dbscan(points, params, make_config<2>({c.rx, c.ry}));
+  const auto check = matches_ground_truth(points, params, result.clustering);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedGroundTruth,
+    ::testing::Values(DistCase{1, 1, 500, 0.02f, 5, 501},
+                      DistCase{2, 2, 500, 0.02f, 5, 502},
+                      DistCase{4, 1, 500, 0.02f, 5, 503},
+                      DistCase{3, 3, 800, 0.03f, 8, 504},
+                      DistCase{2, 2, 600, 0.02f, 2, 505},   // FoF path
+                      DistCase{2, 3, 600, 0.05f, 1, 506},   // minpts=1
+                      DistCase{5, 5, 1000, 0.01f, 4, 507},  // many tiny ranks
+                      DistCase{2, 2, 400, 0.5f, 10, 508}));  // huge halos
+
+TEST(Distributed, AgreesWithLocalFdbscanOnEveryDataset) {
+  const Parameters params{0.01f, 10};
+  for (auto points : {data::ngsim_like(3000, 511),
+                      data::porto_taxi_like(3000, 512),
+                      data::road_network_like(3000, 513)}) {
+    const auto local = fdbscan(points, params);
+    const auto dist =
+        distributed_dbscan(points, params, make_config<2>({2, 2}));
+    const auto check =
+        equivalent_clusterings(points, params, local, dist.clustering);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+TEST(Distributed, ThreeDimensionalDecomposition) {
+  auto points = data::hacc_like(4000, 514);
+  const Parameters params{0.5f, 5};
+  const auto local = fdbscan(points, params);
+  const auto dist =
+      distributed_dbscan(points, params, make_config<3>({2, 2, 2}));
+  const auto check =
+      equivalent_clusterings(points, params, local, dist.clustering);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Distributed, RankStatsPartitionThePoints) {
+  auto points = testing::random_points<2>(2000, 1.0f, 515);
+  const auto result = distributed_dbscan(points, Parameters{0.05f, 5},
+                                         make_config<2>({3, 2}));
+  ASSERT_EQ(result.ranks.size(), 6u);
+  std::int64_t owned = 0;
+  for (const auto& r : result.ranks) {
+    owned += r.owned;
+    EXPECT_GE(r.ghosts, 0);
+  }
+  EXPECT_EQ(owned, 2000);
+  EXPECT_GT(result.total_ghosts(), 0);
+}
+
+TEST(Distributed, GhostsShrinkWithEps) {
+  auto points = testing::random_points<2>(3000, 1.0f, 516);
+  const auto wide = distributed_dbscan(points, Parameters{0.1f, 5},
+                                       make_config<2>({2, 2}));
+  const auto narrow = distributed_dbscan(points, Parameters{0.01f, 5},
+                                         make_config<2>({2, 2}));
+  EXPECT_GT(wide.total_ghosts(), narrow.total_ghosts());
+}
+
+TEST(Distributed, SingleRankHasNoGhostsOrCrossEdges) {
+  auto points = testing::random_points<2>(1000, 1.0f, 517);
+  const auto result = distributed_dbscan(points, Parameters{0.05f, 5},
+                                         make_config<2>({1, 1}));
+  EXPECT_EQ(result.total_ghosts(), 0);
+  EXPECT_EQ(result.ranks[0].cross_rank_edges, 0);
+}
+
+TEST(Distributed, CrossRankClustersAreStitched) {
+  // A single tight cluster straddling the 2x1 rank boundary must come
+  // out as one cluster, with cross-rank edges reported.
+  std::vector<Point2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({{0.5f + 0.0005f * static_cast<float>(i - 100), 0.5f}});
+  }
+  // Anchor points so the domain split at x=0.5 cuts the cluster.
+  points.push_back({{0.0f, 0.0f}});
+  points.push_back({{1.0f, 1.0f}});
+  const auto result = distributed_dbscan(points, Parameters{0.01f, 5},
+                                         make_config<2>({2, 1}));
+  EXPECT_EQ(result.clustering.num_clusters, 1);
+  std::int64_t cross = 0;
+  for (const auto& r : result.ranks) cross += r.cross_rank_edges;
+  EXPECT_GT(cross, 0);
+}
+
+TEST(Distributed, EmptyInput) {
+  std::vector<Point2> points;
+  const auto result = distributed_dbscan(points, Parameters{0.1f, 5},
+                                         make_config<2>({2, 2}));
+  EXPECT_TRUE(result.clustering.labels.empty());
+}
+
+TEST(Distributed, RejectsNonPositiveRankGrid) {
+  auto points = testing::random_points<2>(10, 1.0f, 518);
+  auto config = make_config<2>({0, 2});
+  EXPECT_THROW(distributed_dbscan(points, Parameters{0.1f, 5}, config),
+               std::invalid_argument);
+}
+
+TEST(Distributed, DbscanStarVariant) {
+  auto points = testing::clustered_points<2>(800, 4, 1.0f, 0.015f, 519);
+  const Parameters params{0.015f, 8};
+  Options options;
+  options.variant = Variant::kDbscanStar;
+  const auto result = distributed_dbscan(points, params,
+                                         make_config<2>({2, 2}), options);
+  const auto check = matches_ground_truth(points, params, result.clustering,
+                                          Variant::kDbscanStar);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+}  // namespace
+}  // namespace fdbscan::distributed

@@ -1,0 +1,147 @@
+#include "core/fdbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "dbscan_test_cases.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::DbscanCase;
+using testing::make_dataset;
+using testing::ScopedThreads;
+using testing::standard_cases;
+
+class FdbscanGroundTruth : public ::testing::TestWithParam<DbscanCase> {};
+
+TEST_P(FdbscanGroundTruth, MatchesBruteForce) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  const auto result = fdbscan(points, params);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(FdbscanGroundTruth, UnmaskedTraversalGivesSameResult) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  Options options;
+  options.masked_traversal = false;
+  const auto result = fdbscan(points, params, options);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(FdbscanGroundTruth, NoEarlyExitGivesSameResult) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  Options options;
+  options.early_exit = false;
+  const auto result = fdbscan(points, params, options);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(FdbscanGroundTruth, DbscanStarMatchesBruteForce) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  Options options;
+  options.variant = Variant::kDbscanStar;
+  const auto result = fdbscan(points, params, options);
+  const auto check =
+      matches_ground_truth(points, params, result, Variant::kDbscanStar);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FdbscanGroundTruth,
+                         ::testing::ValuesIn(standard_cases()));
+
+TEST(Fdbscan, EmptyInput) {
+  std::vector<Point2> points;
+  const auto result = fdbscan(points, Parameters{0.1f, 5});
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.num_clusters, 0);
+}
+
+TEST(Fdbscan, ThreeDimensionalData) {
+  ScopedThreads threads(4);
+  auto points = testing::clustered_points<3>(800, 5, 1.0f, 0.01f, 31);
+  const Parameters params{0.03f, 6};
+  const auto result = fdbscan(points, params);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Fdbscan, ResultIsDeterministicUpToRelabeling) {
+  // Cluster count, core flags and noise set must not depend on thread
+  // count or scheduling.
+  auto points = testing::clustered_points<2>(1500, 5, 1.0f, 0.01f, 32);
+  const Parameters params{0.02f, 5};
+  ScopedThreads serial(1);
+  const auto a = fdbscan(points, params);
+  ScopedThreads many(8);
+  const auto b = fdbscan(points, params);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.is_core, b.is_core);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(a.labels[i] == kNoise, b.labels[i] == kNoise) << i;
+  }
+  const auto check = equivalent_clusterings(points, params, a, b);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Fdbscan, ReportsPhaseTimings) {
+  auto points = testing::random_points<2>(2000, 1.0f, 33);
+  const auto result = fdbscan(points, Parameters{0.05f, 5});
+  EXPECT_GT(result.timings.index_construction, 0.0);
+  EXPECT_GT(result.timings.main, 0.0);
+  EXPECT_GT(result.timings.total(), 0.0);
+}
+
+TEST(Fdbscan, TracksMemoryWhenRequested) {
+  auto points = testing::random_points<2>(1000, 1.0f, 34);
+  exec::MemoryTracker tracker;
+  Options options;
+  options.memory = &tracker;
+  const auto result = fdbscan(points, Parameters{0.05f, 5}, options);
+  EXPECT_GT(result.peak_memory_bytes, points.size() * sizeof(std::int32_t));
+  // O(n) memory: far below the ~n^2 adjacency a graph algorithm needs.
+  EXPECT_LT(result.peak_memory_bytes, points.size() * 1000);
+}
+
+TEST(Fdbscan, MemoryIsLinearInN) {
+  exec::MemoryTracker small_tracker, large_tracker;
+  Options options;
+  auto small = testing::random_points<2>(1000, 1.0f, 35);
+  auto large = testing::random_points<2>(8000, 1.0f, 35);
+  options.memory = &small_tracker;
+  (void)fdbscan(small, Parameters{0.3f, 5}, options);  // dense neighborhoods
+  options.memory = &large_tracker;
+  (void)fdbscan(large, Parameters{0.3f, 5}, options);
+  // 8x the points must cost ~8x the memory, independent of neighbor
+  // counts (the paper's central memory claim).
+  const double ratio = static_cast<double>(large_tracker.peak()) /
+                       static_cast<double>(small_tracker.peak());
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Fdbscan, MinptsLargerThanNMakesAllNoise) {
+  auto points = testing::random_points<2>(50, 1.0f, 36);
+  const auto result = fdbscan(points, Parameters{10.0f, 100});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_EQ(result.num_noise(), 50);
+}
+
+}  // namespace
+}  // namespace fdbscan

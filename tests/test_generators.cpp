@@ -1,0 +1,182 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/io.h"
+#include "geometry/box.h"
+#include "grid/dense_grid.h"
+#include "test_utils.h"
+
+namespace fdbscan::data {
+namespace {
+
+TEST(Generators, DeterministicInSeed) {
+  EXPECT_EQ(ngsim_like(500, 1), ngsim_like(500, 1));
+  EXPECT_NE(ngsim_like(500, 1), ngsim_like(500, 2));
+  EXPECT_EQ(porto_taxi_like(500, 1), porto_taxi_like(500, 1));
+  EXPECT_EQ(road_network_like(500, 1), road_network_like(500, 1));
+  EXPECT_EQ(hacc_like(500, 1), hacc_like(500, 1));
+}
+
+TEST(Generators, ProduceRequestedSize) {
+  EXPECT_EQ(ngsim_like(1234, 3).size(), 1234u);
+  EXPECT_EQ(porto_taxi_like(1234, 3).size(), 1234u);
+  EXPECT_EQ(road_network_like(1234, 3).size(), 1234u);
+  EXPECT_EQ(hacc_like(1234, 3).size(), 1234u);
+  EXPECT_EQ(uniform2(99, 1.0f, 3).size(), 99u);
+  EXPECT_EQ(uniform3(99, 1.0f, 3).size(), 99u);
+  EXPECT_EQ(gaussian_mixture2(99, 5, 1.0f, 0.01f, 3).size(), 99u);
+}
+
+TEST(Generators, HaccStaysInsidePeriodicBox) {
+  CosmologyConfig config;
+  config.box_size = 32.0f;
+  auto pts = hacc_like(5000, 5, config);
+  for (const auto& p : pts) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(p[d], 0.0f);
+      EXPECT_LT(p[d], config.box_size + 1e-3f);
+    }
+  }
+}
+
+TEST(Generators, NgsimIsDenserThanUniform) {
+  // The NGSIM regime: nearly every point lives in a dense cell at the
+  // paper's parameters (>95%, §5.1).
+  auto pts = ngsim_like(16384, 7);
+  DenseGrid<2> grid(pts, 0.005f, 50);
+  const double fraction = static_cast<double>(grid.points_in_dense_cells()) /
+                          static_cast<double>(pts.size());
+  EXPECT_GT(fraction, 0.95);
+}
+
+TEST(Generators, RoadNetworkIsDenseAtPaperParameters) {
+  auto pts = road_network_like(16384, 8);
+  DenseGrid<2> grid(pts, 0.08f, 100);
+  const double fraction = static_cast<double>(grid.points_in_dense_cells()) /
+                          static_cast<double>(pts.size());
+  EXPECT_GT(fraction, 0.95);
+}
+
+TEST(Generators, PortoHasDenseCenterAndSparseOutskirts) {
+  auto pts = porto_taxi_like(10000, 9);
+  int center = 0, fringe = 0;
+  for (const auto& p : pts) {
+    const float dx = p[0] - 0.5f, dy = p[1] - 0.5f;
+    const float r2 = dx * dx + dy * dy;
+    if (r2 < 0.01f) ++center;
+    if (r2 > 0.16f) ++fringe;
+  }
+  EXPECT_GT(center, fringe);
+}
+
+TEST(Generators, UniformCoversTheDomain) {
+  auto pts = uniform2(10000, 2.0f, 10);
+  const auto b = bounds_of(pts.data(), pts.size());
+  EXPECT_LT(b.min[0], 0.05f);
+  EXPECT_GT(b.max[0], 1.95f);
+}
+
+TEST(Subsample, TakesRequestedCountWithoutReplacement) {
+  auto pts = uniform2(1000, 1.0f, 11);
+  auto sample = subsample<2>(pts, 100, 12);
+  EXPECT_EQ(sample.size(), 100u);
+  // Without replacement: all sampled points occur in the original with
+  // at least the sampled multiplicity (uniform floats: effectively all
+  // distinct).
+  std::set<std::pair<float, float>> seen;
+  for (const auto& p : sample) {
+    EXPECT_TRUE(seen.insert({p[0], p[1]}).second) << "duplicate sample";
+  }
+}
+
+TEST(Subsample, ClampsToInputSize) {
+  auto pts = uniform2(50, 1.0f, 13);
+  auto sample = subsample<2>(pts, 500, 14);
+  EXPECT_EQ(sample.size(), 50u);
+}
+
+TEST(Subsample, DeterministicInSeed) {
+  auto pts = uniform2(500, 1.0f, 15);
+  EXPECT_EQ(subsample<2>(pts, 100, 16), subsample<2>(pts, 100, 16));
+  EXPECT_NE(subsample<2>(pts, 100, 16), subsample<2>(pts, 100, 17));
+}
+
+TEST(Io, CsvRoundTrip2D) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_2d.csv").string();
+  auto pts = uniform2(200, 1.0f, 18);
+  write_csv(path, pts);
+  auto back = read_csv2(path);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(back[i][0], pts[i][0], 1e-5f);
+    EXPECT_NEAR(back[i][1], pts[i][1], 1e-5f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsvRoundTrip3D) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_3d.csv").string();
+  auto pts = uniform3(100, 5.0f, 19);
+  write_csv(path, pts);
+  auto back = read_csv3(path);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(back[i][2], pts[i][2], 1e-4f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LabeledCsvHasLabelColumn) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_labeled.csv").string();
+  std::vector<Point2> pts{{{1.0f, 2.0f}}, {{3.0f, 4.0f}}};
+  std::vector<std::int32_t> labels{0, -1};
+  write_labeled_csv(path, pts, labels);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find(",0"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find(",-1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ReadSkipsCommentsAndBlankLines) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_comments.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n1.0,2.0\n\n3.0 4.0\n";
+  }
+  auto pts = read_csv2(path);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_FLOAT_EQ(pts[1][0], 3.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_csv2("/nonexistent/definitely_missing.csv"),
+               std::runtime_error);
+}
+
+TEST(Io, ThrowsOnMalformedRow) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\nnot-a-number,3\n";
+  }
+  EXPECT_THROW(read_csv2(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fdbscan::data

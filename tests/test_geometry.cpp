@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+TEST(Point, SquaredDistance2D) {
+  Point2 a{{0.0f, 0.0f}}, b{{3.0f, 4.0f}};
+  EXPECT_FLOAT_EQ(squared_distance(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(distance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(squared_distance(a, a), 0.0f);
+}
+
+TEST(Point, SquaredDistance3D) {
+  Point3 a{{1.0f, 2.0f, 3.0f}}, b{{2.0f, 4.0f, 5.0f}};
+  EXPECT_FLOAT_EQ(squared_distance(a, b), 1.0f + 4.0f + 4.0f);
+}
+
+TEST(Point, WithinIsInclusiveAtTheBoundary) {
+  // The eps-predicate is dist <= eps: a point exactly at distance eps is
+  // a neighbor. This convention must match every algorithm and the
+  // brute-force reference.
+  Point2 a{{0.0f, 0.0f}}, b{{1.0f, 0.0f}};
+  EXPECT_TRUE(within(a, b, 1.0f));
+  EXPECT_FALSE(within(a, b, 0.999999f));
+}
+
+TEST(Point, EqualityComparesCoordinates) {
+  Point2 a{{1.0f, 2.0f}};
+  Point2 b{{1.0f, 2.0f}};
+  Point2 c{{1.0f, 2.5f}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Box, EmptyIsInvalidUntilExpanded) {
+  auto b = Box2::empty();
+  EXPECT_FALSE(b.valid());
+  b.expand(Point2{{1.0f, 2.0f}});
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.min, (Point2{{1.0f, 2.0f}}));
+  EXPECT_EQ(b.max, (Point2{{1.0f, 2.0f}}));
+}
+
+TEST(Box, ExpandGrowsToCover) {
+  auto b = Box2::empty();
+  b.expand(Point2{{0.0f, 5.0f}});
+  b.expand(Point2{{3.0f, -1.0f}});
+  EXPECT_EQ(b.min, (Point2{{0.0f, -1.0f}}));
+  EXPECT_EQ(b.max, (Point2{{3.0f, 5.0f}}));
+  Box2 other{{{-2.0f, 0.0f}}, {{-1.0f, 1.0f}}};
+  b.expand(other);
+  EXPECT_FLOAT_EQ(b.min[0], -2.0f);
+}
+
+TEST(Box, ContainsIsInclusive) {
+  Box2 b{{{0.0f, 0.0f}}, {{1.0f, 1.0f}}};
+  EXPECT_TRUE(b.contains(Point2{{0.0f, 0.0f}}));
+  EXPECT_TRUE(b.contains(Point2{{1.0f, 1.0f}}));
+  EXPECT_TRUE(b.contains(Point2{{0.5f, 0.5f}}));
+  EXPECT_FALSE(b.contains(Point2{{1.0001f, 0.5f}}));
+}
+
+TEST(Box, Center) {
+  Box2 b{{{0.0f, 2.0f}}, {{4.0f, 6.0f}}};
+  EXPECT_EQ(b.center(), (Point2{{2.0f, 4.0f}}));
+}
+
+TEST(Box, PointDistanceInsideIsZero) {
+  Box2 b{{{0.0f, 0.0f}}, {{2.0f, 2.0f}}};
+  EXPECT_FLOAT_EQ(squared_distance(Point2{{1.0f, 1.0f}}, b), 0.0f);
+  EXPECT_FLOAT_EQ(squared_distance(Point2{{0.0f, 2.0f}}, b), 0.0f);  // corner
+}
+
+TEST(Box, PointDistanceToFaceAndCorner) {
+  Box2 b{{{0.0f, 0.0f}}, {{2.0f, 2.0f}}};
+  // Directly left of a face: distance along one axis only.
+  EXPECT_FLOAT_EQ(squared_distance(Point2{{-3.0f, 1.0f}}, b), 9.0f);
+  // Diagonal from a corner.
+  EXPECT_FLOAT_EQ(squared_distance(Point2{{-3.0f, -4.0f}}, b), 25.0f);
+  // Symmetric overload.
+  EXPECT_FLOAT_EQ(squared_distance(b, Point2{{-3.0f, 1.0f}}), 9.0f);
+}
+
+TEST(Box, PointDistanceEqualsMinOverCorners) {
+  // Property: distance to a degenerate (point) box equals point distance.
+  Point3 p{{1.0f, -2.0f, 0.5f}};
+  Point3 q{{4.0f, 0.0f, 1.0f}};
+  Box3 degenerate{q, q};
+  EXPECT_FLOAT_EQ(squared_distance(p, degenerate), squared_distance(p, q));
+}
+
+TEST(Box, IntersectsSphere) {
+  Box2 b{{{0.0f, 0.0f}}, {{1.0f, 1.0f}}};
+  EXPECT_TRUE(intersects(Point2{{2.0f, 0.5f}}, 1.0f, b));    // touches face
+  EXPECT_FALSE(intersects(Point2{{2.1f, 0.5f}}, 1.0f, b));   // just misses
+  EXPECT_TRUE(intersects(Point2{{0.5f, 0.5f}}, 0.01f, b));   // inside
+}
+
+TEST(Box, BoundsOfCoversAllPoints) {
+  auto points = testing::random_points<3>(500, 10.0f, 99);
+  const auto b = bounds_of(points.data(), points.size());
+  EXPECT_TRUE(b.valid());
+  for (const auto& p : points) EXPECT_TRUE(b.contains(p));
+}
+
+TEST(Box, BoundsOfEmptyIsInvalid) {
+  const auto b = bounds_of<2>(nullptr, 0);
+  EXPECT_FALSE(b.valid());
+}
+
+// Property sweep: point-to-box distance lower-bounds the distance to any
+// point inside the box (the correctness requirement of the BVH descent
+// predicate — if this breaks, traversal silently drops neighbors).
+class BoxDistanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxDistanceProperty, LowerBoundsContainedPointDistance) {
+  auto corners = testing::random_points<2>(2, 5.0f, GetParam());
+  Box2 b = Box2::empty();
+  b.expand(corners[0]);
+  b.expand(corners[1]);
+  auto queries = testing::random_points<2>(50, 8.0f, GetParam() + 1);
+  auto inside = testing::random_points<2>(50, 1.0f, GetParam() + 2);
+  for (const auto& q : queries) {
+    for (auto t : inside) {
+      // Map t into the box.
+      Point2 s;
+      for (int d = 0; d < 2; ++d) {
+        s[d] = b.min[d] + t[d] * (b.max[d] - b.min[d]);
+      }
+      EXPECT_LE(squared_distance(q, b), squared_distance(q, s) * 1.000001f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxDistanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fdbscan

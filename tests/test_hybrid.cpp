@@ -1,0 +1,88 @@
+#include "baselines/hybrid_gowanlock.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "dbscan_test_cases.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::DbscanCase;
+using testing::make_dataset;
+using testing::ScopedThreads;
+using testing::standard_cases;
+
+class HybridGroundTruth : public ::testing::TestWithParam<DbscanCase> {};
+
+TEST_P(HybridGroundTruth, MatchesBruteForce) {
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  const auto result = baselines::hybrid_gowanlock(points, params);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(HybridGroundTruth, TinyBatchesGiveIdenticalResults) {
+  // A 256-entry device buffer forces many materialize/consume round
+  // trips; the clustering must not depend on the batch boundaries.
+  const auto c = GetParam();
+  ScopedThreads threads(c.threads);
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+  baselines::HybridConfig config;
+  config.batch_capacity = 256;
+  const auto result = baselines::hybrid_gowanlock(points, params, config);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HybridGroundTruth,
+                         ::testing::ValuesIn(standard_cases()));
+
+TEST(Hybrid, OversizedNeighborhoodStillProgresses) {
+  // One point's neighbor list alone exceeding the buffer must not hang:
+  // it becomes a solo over-capacity batch.
+  std::vector<Point2> points(300, Point2{{0.0f, 0.0f}});
+  baselines::HybridConfig config;
+  config.batch_capacity = 16;
+  const Parameters params{0.1f, 5};
+  const auto result = baselines::hybrid_gowanlock(points, params, config);
+  EXPECT_EQ(result.num_clusters, 1);
+  const auto check = matches_ground_truth(points, params, result);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Hybrid, ChargesTheDeviceBuffer) {
+  auto points = testing::clustered_points<2>(2000, 4, 1.0f, 0.01f, 901);
+  exec::MemoryTracker tracker;
+  baselines::HybridConfig config;
+  config.batch_capacity = 1 << 16;
+  const auto result = baselines::hybrid_gowanlock(
+      points, Parameters{0.02f, 5}, config, &tracker);
+  EXPECT_GE(result.peak_memory_bytes,
+            static_cast<std::size_t>(config.batch_capacity) *
+                sizeof(std::int32_t));
+}
+
+TEST(Hybrid, DbscanStarVariant) {
+  auto points = testing::clustered_points<2>(600, 4, 1.0f, 0.012f, 902);
+  const Parameters params{0.02f, 8};
+  const auto result = baselines::hybrid_gowanlock(
+      points, params, {}, nullptr, Variant::kDbscanStar);
+  const auto check =
+      matches_ground_truth(points, params, result, Variant::kDbscanStar);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Hybrid, EmptyInput) {
+  std::vector<Point2> points;
+  EXPECT_TRUE(baselines::hybrid_gowanlock(points, Parameters{0.1f, 5})
+                  .labels.empty());
+}
+
+}  // namespace
+}  // namespace fdbscan

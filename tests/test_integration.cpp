@@ -1,0 +1,197 @@
+// Cross-module integration tests: all six complete implementations on
+// realistic mid-size workloads, agreement sweeps over parameter grids,
+// and the framework-level invariants the paper argues for (O(n) memory,
+// FoF = connected components, minpts monotonicity).
+#include <gtest/gtest.h>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/dsdbscan.h"
+#include "baselines/gdbscan.h"
+#include "baselines/sequential_dbscan.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "core/validate.h"
+#include "data/generators.h"
+#include "test_utils.h"
+#include "unionfind/union_find.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::ScopedThreads;
+
+// On mid-size data the O(n^2) brute force is too slow, so the k-d-tree
+// sequential DBSCAN (itself brute-force-validated in test_baselines)
+// serves as the reference.
+void expect_all_algorithms_agree(const std::vector<Point2>& points,
+                                 const Parameters& params) {
+  const auto reference = baselines::sequential_dbscan(points, params);
+  struct Named {
+    const char* name;
+    Clustering result;
+  };
+  const Named candidates[] = {
+      {"fdbscan", fdbscan(points, params)},
+      {"densebox", fdbscan_densebox(points, params)},
+      {"dsdbscan", baselines::dsdbscan(points, params)},
+      {"gdbscan", baselines::gdbscan(points, params)},
+      {"cuda_dclust", baselines::cuda_dclust(points, params)},
+  };
+  for (const auto& [name, result] : candidates) {
+    const auto check =
+        equivalent_clusterings(points, params, reference, result);
+    EXPECT_TRUE(check.ok) << name << ": " << check.message;
+  }
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnNgsim) {
+  ScopedThreads threads(4);
+  expect_all_algorithms_agree(data::ngsim_like(4000, 201), {0.005f, 40});
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnPorto) {
+  ScopedThreads threads(4);
+  expect_all_algorithms_agree(data::porto_taxi_like(4000, 202), {0.01f, 10});
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnRoadNetwork) {
+  ScopedThreads threads(4);
+  expect_all_algorithms_agree(data::road_network_like(4000, 203), {0.008f, 8});
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnFriendsOfFriends) {
+  ScopedThreads threads(8);
+  expect_all_algorithms_agree(data::porto_taxi_like(3000, 204), {0.006f, 2});
+}
+
+struct GridSweep {
+  float eps;
+  std::int32_t minpts;
+};
+
+class IntegrationParameterGrid : public ::testing::TestWithParam<GridSweep> {};
+
+TEST_P(IntegrationParameterGrid, TreeAlgorithmsMatchReferenceOnCosmology) {
+  ScopedThreads threads(4);
+  const auto param = GetParam();
+  auto points = data::hacc_like(3000, 205);
+  // Project the reference via the 3-D sequential baseline.
+  const Parameters params{param.eps, param.minpts};
+  const auto reference = baselines::sequential_dbscan(points, params);
+  const auto a = fdbscan(points, params);
+  const auto b = fdbscan_densebox(points, params);
+  auto check = equivalent_clusterings(points, params, reference, a);
+  EXPECT_TRUE(check.ok) << "fdbscan: " << check.message;
+  check = equivalent_clusterings(points, params, reference, b);
+  EXPECT_TRUE(check.ok) << "densebox: " << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsMinptsGrid, IntegrationParameterGrid,
+                         ::testing::Values(GridSweep{0.2f, 2},
+                                           GridSweep{0.2f, 5},
+                                           GridSweep{0.5f, 5},
+                                           GridSweep{0.5f, 20},
+                                           GridSweep{1.0f, 10},
+                                           GridSweep{2.0f, 50}));
+
+TEST(Integration, FofEqualsConnectedComponents) {
+  // minpts=2 DBSCAN is exactly connected components of the eps-graph
+  // (§2.1). Compare fdbscan against an independent CC computation.
+  auto points = data::porto_taxi_like(2000, 206);
+  const float eps = 0.004f;
+  const auto result = fdbscan(points, Parameters{eps, 2});
+  SequentialDSU dsu(static_cast<std::int32_t>(points.size()));
+  const float eps2 = eps * eps;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (within(points[i], points[j], eps2)) {
+        dsu.unite(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); j += 37) {
+      const bool same_cc = dsu.find(static_cast<std::int32_t>(i)) ==
+                           dsu.find(static_cast<std::int32_t>(j));
+      const bool both_clustered =
+          result.labels[i] != kNoise && result.labels[j] != kNoise;
+      if (both_clustered) {
+        ASSERT_EQ(same_cc, result.labels[i] == result.labels[j])
+            << i << "," << j;
+      } else if (same_cc) {
+        // Same nontrivial component but marked noise: only possible for
+        // singleton components.
+        ASSERT_EQ(i, j);
+      }
+    }
+  }
+}
+
+TEST(Integration, CorePointsShrinkAsMinptsGrows) {
+  auto points = data::ngsim_like(3000, 207);
+  const float eps = 0.003f;
+  std::size_t previous = points.size() + 1;
+  for (std::int32_t minpts : {2, 5, 20, 100, 400}) {
+    const auto result = fdbscan(points, Parameters{eps, minpts});
+    std::size_t cores = 0;
+    for (auto f : result.is_core) cores += f;
+    EXPECT_LE(cores, previous) << "minpts=" << minpts;
+    previous = cores;
+  }
+}
+
+TEST(Integration, ClustersGrowAsEpsGrows) {
+  // Larger eps can only merge clusters / recruit noise, never create
+  // noise out of clustered points.
+  auto points = data::road_network_like(2000, 208);
+  const auto small = fdbscan(points, Parameters{0.005f, 5});
+  const auto large = fdbscan(points, Parameters{0.02f, 5});
+  EXPECT_LE(large.num_noise(), small.num_noise());
+}
+
+TEST(Integration, MemoryOrderingMatchesThePaper) {
+  // Peak auxiliary memory: G-DBSCAN >> FDBSCAN ~ DenseBox on dense data.
+  auto points = data::ngsim_like(4000, 209);
+  const Parameters params{0.01f, 10};
+  exec::MemoryTracker fd_tracker, db_tracker, g_tracker;
+  Options options;
+  options.memory = &fd_tracker;
+  (void)fdbscan(points, params, options);
+  options.memory = &db_tracker;
+  (void)fdbscan_densebox(points, params, options);
+  (void)baselines::gdbscan(points, params, &g_tracker);
+  EXPECT_GT(g_tracker.peak(), 10 * fd_tracker.peak());
+  EXPECT_GT(g_tracker.peak(), 10 * db_tracker.peak());
+}
+
+TEST(Integration, LargeScaleFofSmokeTest) {
+  // 50k-point Friends-of-Friends run exercising every kernel at a size
+  // where chunked dispatch and atomics really interleave.
+  ScopedThreads threads(8);
+  auto points = data::hacc_like(50000, 210);
+  const auto a = fdbscan(points, Parameters{0.3f, 2});
+  const auto b = fdbscan_densebox(points, Parameters{0.3f, 2});
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.num_noise(), b.num_noise());
+  const auto check =
+      equivalent_clusterings(points, Parameters{0.3f, 2}, a, b);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Integration, RepeatedRunsAreStable) {
+  // Re-running on identical input yields the identical clustering
+  // (catches uninitialized memory and iteration-order dependence).
+  auto points = data::porto_taxi_like(2500, 211);
+  const Parameters params{0.006f, 5};
+  const auto first = fdbscan_densebox(points, params);
+  for (int run = 0; run < 3; ++run) {
+    const auto again = fdbscan_densebox(points, params);
+    EXPECT_EQ(first.num_clusters, again.num_clusters);
+    EXPECT_EQ(first.is_core, again.is_core);
+    const auto check = equivalent_clusterings(points, params, first, again);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+}  // namespace
+}  // namespace fdbscan

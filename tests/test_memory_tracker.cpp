@@ -1,0 +1,78 @@
+#include "exec/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace fdbscan::exec {
+namespace {
+
+TEST(MemoryTracker, TracksCurrentAndPeak) {
+  MemoryTracker tracker;
+  tracker.charge(100);
+  tracker.charge(50);
+  EXPECT_EQ(tracker.current(), 150u);
+  EXPECT_EQ(tracker.peak(), 150u);
+  tracker.release(120);
+  EXPECT_EQ(tracker.current(), 30u);
+  EXPECT_EQ(tracker.peak(), 150u);
+  tracker.charge(10);
+  EXPECT_EQ(tracker.peak(), 150u);  // peak only moves on new highs
+}
+
+TEST(MemoryTracker, UnlimitedByDefault) {
+  MemoryTracker tracker;
+  EXPECT_NO_THROW(tracker.charge(std::size_t{1} << 60));
+}
+
+TEST(MemoryTracker, ThrowsOverBudget) {
+  MemoryTracker tracker(1000);
+  tracker.charge(900);
+  EXPECT_THROW(tracker.charge(200), OutOfDeviceMemory);
+  // A failed charge must not corrupt the running total.
+  EXPECT_EQ(tracker.current(), 900u);
+  EXPECT_NO_THROW(tracker.charge(100));
+}
+
+TEST(MemoryTracker, ExceptionCarriesDetails) {
+  MemoryTracker tracker(64);
+  try {
+    tracker.charge(100);
+    FAIL() << "expected OutOfDeviceMemory";
+  } catch (const OutOfDeviceMemory& e) {
+    EXPECT_EQ(e.requested(), 100u);
+    EXPECT_EQ(e.budget(), 64u);
+    EXPECT_NE(std::string(e.what()).find("100"), std::string::npos);
+  }
+}
+
+TEST(MemoryTracker, ReleaseClampsAtZero) {
+  MemoryTracker tracker;
+  tracker.charge(10);
+  tracker.release(100);
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(MemoryTracker, ResetClearsBothCounters) {
+  MemoryTracker tracker(500);
+  tracker.charge(400);
+  tracker.reset();
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_EQ(tracker.peak(), 0u);
+  EXPECT_EQ(tracker.budget(), 500u);  // budget survives reset
+}
+
+TEST(MemoryTracker, ScopedChargeReleasesOnDestruction) {
+  MemoryTracker tracker;
+  {
+    ScopedCharge charge(&tracker, 256);
+    EXPECT_EQ(tracker.current(), 256u);
+  }
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_EQ(tracker.peak(), 256u);
+}
+
+TEST(MemoryTracker, ScopedChargeToleratesNullTracker) {
+  EXPECT_NO_THROW({ ScopedCharge charge(nullptr, 1024); });
+}
+
+}  // namespace
+}  // namespace fdbscan::exec

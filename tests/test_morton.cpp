@@ -1,0 +1,118 @@
+#include "geometry/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+// Bit-by-bit reference interleave.
+std::uint64_t naive_interleave(const std::uint32_t* q, int dim, int bits) {
+  std::uint64_t code = 0;
+  for (int b = 0; b < bits; ++b) {
+    for (int d = 0; d < dim; ++d) {
+      code |= ((static_cast<std::uint64_t>(q[d]) >> b) & 1ULL)
+              << (b * dim + d);
+    }
+  }
+  return code;
+}
+
+TEST(Morton, ExpandBits2MatchesNaive) {
+  for (std::uint32_t x : {0u, 1u, 2u, 0x55555555u, 0x7fffffffu, 12345u}) {
+    std::uint32_t q[2] = {x, 0};
+    EXPECT_EQ(detail::expand_bits_2(x), naive_interleave(q, 2, 31)) << x;
+  }
+}
+
+TEST(Morton, ExpandBits3MatchesNaive) {
+  for (std::uint32_t x : {0u, 1u, 2u, 0x155555u, 0x1fffffu, 54321u}) {
+    std::uint32_t q[3] = {x, 0, 0};
+    EXPECT_EQ(detail::expand_bits_3(x), naive_interleave(q, 3, 21)) << x;
+  }
+}
+
+TEST(Morton, Morton2MatchesNaiveOnRandomInputs) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng() & 0x7fffffff);
+    const auto y = static_cast<std::uint32_t>(rng() & 0x7fffffff);
+    std::uint32_t q[2] = {x, y};
+    EXPECT_EQ(morton2(x, y), naive_interleave(q, 2, 31));
+  }
+}
+
+TEST(Morton, Morton3MatchesNaiveOnRandomInputs) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    const auto y = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    const auto z = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    std::uint32_t q[3] = {x, y, z};
+    EXPECT_EQ(morton3(x, y, z), naive_interleave(q, 3, 21));
+  }
+}
+
+TEST(Morton, PreservesPerAxisOrderingAlongAxes) {
+  // Along a single axis, Morton codes are monotone.
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    EXPECT_LT(morton2(v, 0), morton2(v + 1, 0));
+    EXPECT_LT(morton2(0, v), morton2(0, v + 1));
+    EXPECT_LT(morton3(v, 0, 0), morton3(v + 1, 0, 0));
+  }
+}
+
+TEST(Morton, QuadrantPrefixProperty) {
+  // Points in the same half-space on the top bit share the top output bit:
+  // the locality property the BVH build relies on.
+  Box2 scene{{{0.0f, 0.0f}}, {{1.0f, 1.0f}}};
+  const auto low = morton_code(Point2{{0.2f, 0.3f}}, scene);
+  const auto low2 = morton_code(Point2{{0.4f, 0.1f}}, scene);
+  const auto high = morton_code(Point2{{0.9f, 0.9f}}, scene);
+  // Top two interleaved bits identify the quadrant.
+  EXPECT_EQ(low >> 60, low2 >> 60);
+  EXPECT_NE(low >> 60, high >> 60);
+}
+
+TEST(Morton, CodeClampsOutOfSceneCoordinates) {
+  Box2 scene{{{0.0f, 0.0f}}, {{1.0f, 1.0f}}};
+  const auto inside_max = morton_code(Point2{{1.0f, 1.0f}}, scene);
+  const auto beyond = morton_code(Point2{{5.0f, 7.0f}}, scene);
+  EXPECT_EQ(inside_max, beyond);
+  const auto origin = morton_code(Point2{{0.0f, 0.0f}}, scene);
+  const auto below = morton_code(Point2{{-3.0f, -1.0f}}, scene);
+  EXPECT_EQ(origin, below);
+}
+
+TEST(Morton, DegenerateSceneProducesUniformCode) {
+  // A zero-extent scene (all points identical) must not divide by zero.
+  Box2 scene{{{0.5f, 0.5f}}, {{0.5f, 0.5f}}};
+  EXPECT_EQ(morton_code(Point2{{0.5f, 0.5f}}, scene),
+            morton_code(Point2{{0.5f, 0.5f}}, scene));
+}
+
+TEST(Morton, DistinctCellsGetDistinctCodes) {
+  Box2 scene{{{0.0f, 0.0f}}, {{1.0f, 1.0f}}};
+  const auto a = morton_code(Point2{{0.1f, 0.1f}}, scene);
+  const auto b = morton_code(Point2{{0.9f, 0.9f}}, scene);
+  EXPECT_NE(a, b);
+}
+
+TEST(Morton, Closeness3DProperty) {
+  // For random 3-D point pairs, nearby points share at least as long a
+  // code prefix as a far-away control point (statistically: check the
+  // scene's octant split).
+  Box3 scene{{{0.0f, 0.0f, 0.0f}}, {{1.0f, 1.0f, 1.0f}}};
+  const auto a = morton_code(Point3{{0.1f, 0.1f, 0.1f}}, scene);
+  const auto b = morton_code(Point3{{0.12f, 0.11f, 0.13f}}, scene);
+  const auto c = morton_code(Point3{{0.9f, 0.95f, 0.85f}}, scene);
+  const int ab = a == b ? 64 : __builtin_clzll(a ^ b);
+  const int ac = a == c ? 64 : __builtin_clzll(a ^ c);
+  EXPECT_GT(ab, ac);
+}
+
+}  // namespace
+}  // namespace fdbscan

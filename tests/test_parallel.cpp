@@ -1,0 +1,128 @@
+#include "exec/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "exec/atomic.h"
+#include "test_utils.h"
+
+namespace fdbscan::exec {
+namespace {
+
+class ParallelWithThreads : public ::testing::TestWithParam<int> {
+ protected:
+  testing::ScopedThreads threads_{GetParam()};
+};
+
+TEST_P(ParallelWithThreads, ForVisitsEveryIndexExactlyOnce) {
+  constexpr std::int64_t kN = 12345;
+  std::vector<std::int32_t> visits(kN, 0);
+  parallel_for(kN, [&](std::int64_t i) {
+    atomic_fetch_add(visits[static_cast<std::size_t>(i)], std::int32_t{1});
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[static_cast<std::size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelWithThreads, ForHandlesEmptyAndSingle) {
+  std::int64_t count = 0;
+  parallel_for(0, [&](std::int64_t) { atomic_fetch_add(count, std::int64_t{1}); });
+  EXPECT_EQ(count, 0);
+  parallel_for(-5, [&](std::int64_t) { atomic_fetch_add(count, std::int64_t{1}); });
+  EXPECT_EQ(count, 0);
+  parallel_for(1, [&](std::int64_t i) {
+    EXPECT_EQ(i, 0);
+    atomic_fetch_add(count, std::int64_t{1});
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_P(ParallelWithThreads, ReduceSum) {
+  constexpr std::int64_t kN = 100001;
+  const std::int64_t total = parallel_reduce(
+      kN, std::int64_t{0}, [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+TEST_P(ParallelWithThreads, ReduceMax) {
+  constexpr std::int64_t kN = 7777;
+  const std::int64_t mx = parallel_reduce(
+      kN, std::int64_t{-1},
+      [](std::int64_t i) { return (i * 37) % 1000; },
+      [](std::int64_t a, std::int64_t b) { return a > b ? a : b; });
+  EXPECT_EQ(mx, 999);
+}
+
+TEST_P(ParallelWithThreads, ReduceRespectsInitOnEmptyRange) {
+  const int v = parallel_reduce(
+      0, 42, [](std::int64_t) { return 0; }, [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST_P(ParallelWithThreads, SumConvenience) {
+  EXPECT_EQ(parallel_sum<std::int64_t>(1000, [](std::int64_t) { return 2; }),
+            2000);
+}
+
+TEST_P(ParallelWithThreads, ExclusiveScanMatchesSerialReference) {
+  for (std::int64_t n : {0LL, 1LL, 2LL, 100LL, 4095LL, 4096LL, 100000LL}) {
+    std::vector<std::int64_t> data(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] = (i * 7919) % 13;
+    }
+    std::vector<std::int64_t> expected(data.size());
+    std::int64_t run = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      expected[i] = run;
+      run += data[i];
+    }
+    const std::int64_t total = exclusive_scan(data);
+    EXPECT_EQ(total, run) << "n=" << n;
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST_P(ParallelWithThreads, NestedSequentialKernelsKeepOrdering) {
+  // Two kernels in sequence: the second must observe all writes of the
+  // first (the pool's dispatch acts as a device-wide barrier).
+  constexpr std::int64_t kN = 50000;
+  std::vector<std::int32_t> a(kN), b(kN);
+  parallel_for(kN, [&](std::int64_t i) {
+    a[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  });
+  parallel_for(kN, [&](std::int64_t i) {
+    b[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] + 1;
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(b[static_cast<std::size_t>(i)], i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelWithThreads,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(Parallel, SetNumThreadsTakesEffect) {
+  testing::ScopedThreads threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  {
+    testing::ScopedThreads inner(1);
+    EXPECT_EQ(num_threads(), 1);
+  }
+  EXPECT_EQ(num_threads(), 3);
+}
+
+TEST(Parallel, LargeGrainStillCoversRange) {
+  // n smaller than any reasonable grain must still be fully covered.
+  testing::ScopedThreads threads(8);
+  std::int64_t sum = 0;
+  parallel_for(3, [&](std::int64_t i) { atomic_fetch_add(sum, i); });
+  EXPECT_EQ(sum, 3);
+}
+
+}  // namespace
+}  // namespace fdbscan::exec

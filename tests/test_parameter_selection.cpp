@@ -1,0 +1,141 @@
+#include "core/parameter_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bvh/bvh.h"
+#include "core/fdbscan.h"
+#include "data/generators.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+// --- kNN queries (the substrate of the k-dist heuristic) ----------------
+
+template <int DIM>
+std::vector<std::pair<std::int32_t, float>> brute_force_knn(
+    const std::vector<Point<DIM>>& pts, const Point<DIM>& q, std::int32_t k) {
+  std::vector<std::pair<std::int32_t, float>> all;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    all.emplace_back(static_cast<std::int32_t>(i), squared_distance(q, pts[i]));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  all.resize(std::min<std::size_t>(all.size(), static_cast<std::size_t>(k)));
+  return all;
+}
+
+class BvhKnn : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(BvhKnn, MatchesBruteForce) {
+  const std::int32_t k = GetParam();
+  auto pts = testing::random_points<2>(700, 1.0f, 801);
+  Bvh<2> bvh(pts);
+  for (std::size_t q = 0; q < pts.size(); q += 31) {
+    const auto expected = brute_force_knn(pts, pts[q], k);
+    const auto got = bvh.nearest(pts[q], k);
+    ASSERT_EQ(got.size(), expected.size()) << "query " << q;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      // Distances must match exactly; ids may differ under ties.
+      ASSERT_FLOAT_EQ(got[j].second, expected[j].second)
+          << "query " << q << " rank " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BvhKnn, ::testing::Values(1, 2, 5, 16, 100));
+
+TEST(BvhKnn, DistancesAreSortedAscending) {
+  auto pts = testing::random_points<3>(500, 1.0f, 802);
+  Bvh<3> bvh(pts);
+  const auto nn = bvh.nearest(Point3{{0.5f, 0.5f, 0.5f}}, 20);
+  ASSERT_EQ(nn.size(), 20u);
+  for (std::size_t j = 1; j < nn.size(); ++j) {
+    EXPECT_LE(nn[j - 1].second, nn[j].second);
+  }
+}
+
+TEST(BvhKnn, KLargerThanNReturnsAll) {
+  auto pts = testing::random_points<2>(7, 1.0f, 803);
+  Bvh<2> bvh(pts);
+  EXPECT_EQ(bvh.nearest(pts[0], 100).size(), 7u);
+}
+
+TEST(BvhKnn, EmptyAndZeroK) {
+  Bvh<2> empty(std::vector<Point2>{});
+  EXPECT_TRUE(empty.nearest(Point2{{0, 0}}, 3).empty());
+  auto pts = testing::random_points<2>(10, 1.0f, 804);
+  Bvh<2> bvh(pts);
+  EXPECT_TRUE(bvh.nearest(pts[0], 0).empty());
+}
+
+TEST(BvhKnn, SelfIsTheNearestNeighbor) {
+  auto pts = testing::random_points<2>(300, 1.0f, 805);
+  Bvh<2> bvh(pts);
+  const auto nn = bvh.nearest(pts[42], 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].first, 42);
+  EXPECT_FLOAT_EQ(nn[0].second, 0.0f);
+}
+
+// --- k-dist & eps suggestion --------------------------------------------
+
+TEST(KDistances, MatchesBruteForce) {
+  auto pts = testing::random_points<2>(300, 1.0f, 806);
+  const std::int32_t minpts = 5;
+  const auto dists = k_distances(pts, minpts);
+  ASSERT_EQ(dists.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); i += 17) {
+    const auto expected = brute_force_knn(pts, pts[i], minpts);
+    EXPECT_FLOAT_EQ(dists[i], std::sqrt(expected.back().second)) << i;
+  }
+}
+
+TEST(KDistances, RejectsMinptsBelowTwo) {
+  auto pts = testing::random_points<2>(10, 1.0f, 807);
+  EXPECT_THROW((void)k_distances(pts, 1), std::invalid_argument);
+}
+
+TEST(KDistances, SortedCurveIsDescending) {
+  auto pts = data::porto_taxi_like(2000, 808);
+  const auto curve = sorted_k_distances(pts, 4);
+  EXPECT_TRUE(std::is_sorted(curve.begin(), curve.end(), std::greater<>()));
+}
+
+TEST(SuggestEps, ProducesTargetNoiseFraction) {
+  // Clustering with the suggested eps must leave roughly the requested
+  // fraction of points with sub-minpts neighborhoods.
+  auto pts = testing::clustered_points<2>(4000, 5, 1.0f, 0.01f, 809);
+  const std::int32_t minpts = 8;
+  const double target = 0.05;
+  const float eps = suggest_eps(pts, minpts, target);
+  EXPECT_GT(eps, 0.0f);
+  const auto c = fdbscan(pts, Parameters{eps, minpts});
+  // Non-core fraction ~ target (border points can still be clustered, so
+  // compare against the core deficit, with generous slack for ties).
+  std::int64_t non_core = 0;
+  for (auto f : c.is_core) non_core += (f == 0);
+  const double fraction =
+      static_cast<double>(non_core) / static_cast<double>(pts.size());
+  EXPECT_NEAR(fraction, target, 0.03);
+}
+
+TEST(SuggestEps, LargerNoiseFractionMeansSmallerEps) {
+  auto pts = data::road_network_like(3000, 810);
+  const float tolerant = suggest_eps(pts, 5, 0.01);
+  const float strict = suggest_eps(pts, 5, 0.20);
+  EXPECT_GE(tolerant, strict);
+}
+
+TEST(SuggestEps, ValidatesArguments) {
+  std::vector<Point2> empty;
+  EXPECT_THROW((void)suggest_eps(empty, 5), std::invalid_argument);
+  auto pts = testing::random_points<2>(10, 1.0f, 811);
+  EXPECT_THROW((void)suggest_eps(pts, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)suggest_eps(pts, 5, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdbscan

@@ -1,0 +1,134 @@
+#include "exec/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "test_utils.h"
+
+namespace fdbscan::exec {
+namespace {
+
+void fill_random(std::vector<std::uint64_t>& keys, std::uint64_t mask,
+                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (auto& k : keys) k = rng() & mask;
+}
+
+std::vector<std::int32_t> iota_ids(std::size_t n) {
+  std::vector<std::int32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+class RadixSortThreads : public ::testing::TestWithParam<int> {
+ protected:
+  testing::ScopedThreads threads_{GetParam()};
+};
+
+TEST_P(RadixSortThreads, SortsRandomKeys) {
+  std::vector<std::uint64_t> keys(10007);
+  fill_random(keys, ~std::uint64_t{0}, 1);
+  auto ids = iota_ids(keys.size());
+  auto original = keys;
+  radix_sort_pairs(keys, ids);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // ids must carry the permutation: keys[i] == original[ids[i]].
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(keys[i], original[static_cast<std::size_t>(ids[i])]);
+  }
+}
+
+TEST_P(RadixSortThreads, MatchesStdStableSort) {
+  std::vector<std::uint64_t> keys(5000);
+  fill_random(keys, 0xffff, 2);  // many duplicates
+  auto ids = iota_ids(keys.size());
+  auto original = keys;
+  auto expected_ids = ids;
+  std::stable_sort(expected_ids.begin(), expected_ids.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return original[static_cast<std::size_t>(a)] <
+                            original[static_cast<std::size_t>(b)];
+                   });
+  radix_sort_pairs(keys, ids);
+  EXPECT_EQ(ids, expected_ids);
+}
+
+TEST_P(RadixSortThreads, StableOnAllEqualKeys) {
+  std::vector<std::uint64_t> keys(1000, 42);
+  auto ids = iota_ids(keys.size());
+  radix_sort_pairs(keys, ids);
+  EXPECT_EQ(ids, iota_ids(keys.size()));  // untouched order
+}
+
+TEST_P(RadixSortThreads, HandlesHighBytesOnly) {
+  // Keys varying only in the top byte exercise the pass-skip logic.
+  std::vector<std::uint64_t> keys(3000);
+  std::mt19937_64 rng(3);
+  for (auto& k : keys) k = (rng() & 0xff) << 56;
+  auto ids = iota_ids(keys.size());
+  radix_sort_pairs(keys, ids);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(RadixSortThreads, HandlesAlreadySorted) {
+  std::vector<std::uint64_t> keys(4096);
+  std::iota(keys.begin(), keys.end(), 1000);
+  auto ids = iota_ids(keys.size());
+  radix_sort_pairs(keys, ids);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(ids, iota_ids(keys.size()));
+}
+
+TEST_P(RadixSortThreads, HandlesReverseSorted) {
+  std::vector<std::uint64_t> keys(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = keys.size() - i;
+  }
+  auto ids = iota_ids(keys.size());
+  radix_sort_pairs(keys, ids);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(ids[0], static_cast<std::int32_t>(keys.size()) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, RadixSortThreads,
+                         ::testing::Values(1, 3, 8));
+
+TEST(RadixSort, EmptyAndSingle) {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::int32_t> ids;
+  radix_sort_pairs(keys, ids);
+  EXPECT_TRUE(keys.empty());
+  keys = {7};
+  ids = {0};
+  radix_sort_pairs(keys, ids);
+  EXPECT_EQ(keys[0], 7u);
+}
+
+TEST(RadixSort, OddNumberOfPassesCopiesBack) {
+  // Keys spanning exactly 3 varying bytes force an odd pass count.
+  std::vector<std::uint64_t> keys(2000);
+  std::mt19937_64 rng(4);
+  for (auto& k : keys) k = rng() & 0xffffff;
+  auto ids = iota_ids(keys.size());
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  radix_sort_pairs(keys, ids);
+  EXPECT_EQ(keys, sorted);
+}
+
+TEST(RadixSort, LargeInputAcrossManyChunks) {
+  testing::ScopedThreads threads(8);
+  std::vector<std::uint64_t> keys(300000);
+  fill_random(keys, ~std::uint64_t{0}, 5);
+  auto ids = iota_ids(keys.size());
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  radix_sort_pairs(keys, ids);
+  EXPECT_EQ(keys, sorted);
+}
+
+}  // namespace
+}  // namespace fdbscan::exec

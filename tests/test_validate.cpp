@@ -1,0 +1,162 @@
+// Tests for the validation machinery itself: the checker must accept
+// every legitimately different output (relabelings, alternative border
+// assignments) and reject every corruption (this is what all other
+// correctness tests lean on).
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+// Fixture: two three-core clusters with one border point each plus
+// noise, built by hand so every role is known (eps = 0.1, minpts = 3;
+// |N| includes the point itself).
+//   cluster A: cores 0,1,2 at x = 0.00, 0.04, 0.08; border 3 at x = 0.16
+//   cluster B: cores 4,5,6 at x = 1.00, 1.04, 1.08; border 7 at x = 0.92
+//   noise: 8 at x = 3.0
+// (Spacings of 0.08 < eps keep every in-cluster distance clear of the
+// eps boundary, where float rounding would flip the predicate.)
+class ValidateFixture : public ::testing::Test {
+ protected:
+  std::vector<Point2> points_{{{0.00f, 0.0f}}, {{0.04f, 0.0f}},
+                              {{0.08f, 0.0f}}, {{0.16f, 0.0f}},
+                              {{1.00f, 0.0f}}, {{1.04f, 0.0f}},
+                              {{1.08f, 0.0f}}, {{0.92f, 0.0f}},
+                              {{3.00f, 0.0f}}};
+  Parameters params_{0.1f, 3};
+  Clustering reference_ = brute_force_dbscan(points_, params_);
+};
+
+TEST_F(ValidateFixture, BruteForceFindsTheExpectedStructure) {
+  EXPECT_EQ(reference_.num_clusters, 2);
+  EXPECT_EQ(reference_.is_core,
+            (std::vector<std::uint8_t>{1, 1, 1, 0, 1, 1, 1, 0, 0}));
+  EXPECT_EQ(reference_.labels[8], kNoise);
+  EXPECT_NE(reference_.labels[0], reference_.labels[4]);
+  EXPECT_EQ(reference_.labels[3], reference_.labels[0]);  // border of A
+  EXPECT_EQ(reference_.labels[7], reference_.labels[4]);  // border of B
+}
+
+TEST_F(ValidateFixture, AcceptsItself) {
+  EXPECT_TRUE(
+      equivalent_clusterings(points_, params_, reference_, reference_).ok);
+}
+
+TEST_F(ValidateFixture, AcceptsRelabeledClusters) {
+  Clustering permuted = reference_;
+  for (auto& l : permuted.labels) {
+    if (l != kNoise) l = 1 - l;  // swap cluster ids 0 and 1
+  }
+  EXPECT_TRUE(
+      equivalent_clusterings(points_, params_, reference_, permuted).ok);
+}
+
+TEST_F(ValidateFixture, RejectsFlippedCoreFlag) {
+  Clustering bad = reference_;
+  bad.is_core[3] = 1;  // border of A promoted to core
+  const auto check = equivalent_clusterings(points_, params_, reference_, bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.message.find("core flag"), std::string::npos);
+}
+
+TEST_F(ValidateFixture, RejectsNoiseTurnedCluster) {
+  Clustering bad = reference_;
+  bad.labels[8] = 0;  // the noise point adopted by cluster 0
+  const auto check = equivalent_clusterings(points_, params_, reference_, bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.message.find("noise"), std::string::npos);
+}
+
+TEST_F(ValidateFixture, RejectsMergedClusters) {
+  Clustering bad = reference_;
+  for (auto& l : bad.labels) {
+    if (l == 1) l = 0;  // bridge the two clusters
+  }
+  bad.num_clusters = 1;
+  EXPECT_FALSE(equivalent_clusterings(points_, params_, reference_, bad).ok);
+}
+
+TEST_F(ValidateFixture, RejectsSplitCluster) {
+  Clustering bad = reference_;
+  bad.labels[1] = 2;  // core point 1 exiled to its own cluster
+  bad.num_clusters = 3;
+  EXPECT_FALSE(equivalent_clusterings(points_, params_, reference_, bad).ok);
+}
+
+TEST_F(ValidateFixture, RejectsBorderInFarAwayCluster) {
+  Clustering bad = reference_;
+  bad.labels[3] = bad.labels[4];  // border of A teleported into B
+  const auto check = equivalent_clusterings(points_, params_, reference_, bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.message.find("border"), std::string::npos);
+}
+
+TEST_F(ValidateFixture, RejectsSizeMismatch) {
+  Clustering bad = reference_;
+  bad.labels.pop_back();
+  EXPECT_FALSE(equivalent_clusterings(points_, params_, reference_, bad).ok);
+}
+
+TEST(Validate, AcceptsAlternativeBorderAssignment) {
+  // A border point reachable from two clusters may go either way
+  // (eps = 0.13, minpts = 4, |N| includes self):
+  //   cluster A: cores at x = 0.00, 0.04, 0.08, 0.12
+  //   border at x = 0.24 (within eps of A's 0.12 and B's 0.36 only)
+  //   cluster B: cores at x = 0.36, 0.40, 0.44, 0.48
+  std::vector<Point2> points{{{0.00f, 0.0f}}, {{0.04f, 0.0f}},
+                             {{0.08f, 0.0f}}, {{0.12f, 0.0f}},
+                             {{0.24f, 0.0f}}, {{0.36f, 0.0f}},
+                             {{0.40f, 0.0f}}, {{0.44f, 0.0f}},
+                             {{0.48f, 0.0f}}};
+  Parameters params{0.13f, 4};
+  const auto reference = brute_force_dbscan(points, params);
+  ASSERT_EQ(reference.num_clusters, 2);
+  ASSERT_EQ(reference.is_core[4], 0);
+  ASSERT_NE(reference.labels[4], kNoise);
+  Clustering alternative = reference;
+  alternative.labels[4] = reference.labels[4] == 0 ? 1 : 0;
+  EXPECT_TRUE(
+      equivalent_clusterings(points, params, reference, alternative).ok);
+}
+
+TEST(Validate, DbscanStarRejectsClusteredBorder) {
+  std::vector<Point2> points{{{0.0f, 0.0f}},
+                             {{0.05f, 0.0f}},
+                             {{0.12f, 0.0f}}};
+  Parameters params{0.1f, 3};
+  const auto reference =
+      brute_force_dbscan(points, params, Variant::kDbscanStar);
+  EXPECT_EQ(reference.labels[2], kNoise);
+  Clustering bad = reference;
+  bad.labels[2] = 0;  // DBSCAN* must not cluster borders
+  EXPECT_FALSE(equivalent_clusterings(points, params, reference, bad,
+                                      Variant::kDbscanStar)
+                   .ok);
+}
+
+TEST(Validate, BruteForceRecoversNoiseIntoBorder) {
+  // Algorithm 1 line 6 first marks a point as noise, then line 17 can
+  // recruit it into a cluster discovered later. Put the border point
+  // *before* its cluster in index order to hit that path.
+  std::vector<Point2> points{{{0.12f, 0.0f}},  // border, visited first
+                             {{0.0f, 0.0f}},  {{0.05f, 0.0f}},
+                             {{0.02f, 0.04f}}};
+  Parameters params{0.1f, 3};
+  const auto c = brute_force_dbscan(points, params);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_NE(c.labels[0], kNoise);
+  EXPECT_EQ(c.is_core[0], 0);
+}
+
+TEST(Validate, MatchesGroundTruthConvenience) {
+  auto points = testing::clustered_points<2>(300, 3, 1.0f, 0.01f, 91);
+  Parameters params{0.02f, 5};
+  const auto c = brute_force_dbscan(points, params);
+  EXPECT_TRUE(matches_ground_truth(points, params, c).ok);
+}
+
+}  // namespace
+}  // namespace fdbscan

@@ -1,0 +1,106 @@
+// Tests for the architecture-neutral work counters: these carry the
+// paper's efficiency claims (masked traversal halves pair work, early
+// exit prunes preprocessing, dense boxes eliminate distance computations,
+// G-DBSCAN does Theta(n^2) work) independently of wall-clock.
+#include <gtest/gtest.h>
+
+#include "baselines/cuda_dclust.h"
+#include "baselines/dsdbscan.h"
+#include "baselines/gdbscan.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "data/generators.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+TEST(WorkCounters, FdbscanCountsArePositive) {
+  auto points = testing::random_points<2>(2000, 1.0f, 301);
+  const auto result = fdbscan(points, Parameters{0.05f, 5});
+  EXPECT_GT(result.distance_computations, 0);
+  EXPECT_GT(result.index_nodes_visited, 0);
+}
+
+TEST(WorkCounters, CountsAreDeterministicAcrossThreadCounts) {
+  auto points = testing::clustered_points<2>(3000, 5, 1.0f, 0.01f, 302);
+  const Parameters params{0.02f, 5};
+  testing::ScopedThreads serial(1);
+  const auto a = fdbscan(points, params);
+  testing::ScopedThreads many(8);
+  const auto b = fdbscan(points, params);
+  EXPECT_EQ(a.distance_computations, b.distance_computations);
+  EXPECT_EQ(a.index_nodes_visited, b.index_nodes_visited);
+}
+
+TEST(WorkCounters, MaskedTraversalRoughlyHalvesMainPhaseWork) {
+  // §4.1: hiding leaves below the query's own position halves the pair
+  // work. With minpts=2 the main phase is the only traversal, so the
+  // total counter ratio must approach 1/2 on neighbor-rich data.
+  auto points = data::ngsim_like(8000, 303);
+  const Parameters params{0.003f, 2};
+  Options masked, unmasked;
+  unmasked.masked_traversal = false;
+  const auto with_mask = fdbscan(points, params, masked);
+  const auto without_mask = fdbscan(points, params, unmasked);
+  const double ratio =
+      static_cast<double>(with_mask.distance_computations) /
+      static_cast<double>(without_mask.distance_computations);
+  EXPECT_LT(ratio, 0.65);
+  EXPECT_GT(ratio, 0.35);
+}
+
+TEST(WorkCounters, EarlyExitPrunesPreprocessing) {
+  // On data where |N(x)| >> minpts, terminating at minpts neighbors must
+  // slash the distance computations (§3.2's "lightweight approach").
+  auto points = data::ngsim_like(8000, 304);
+  const Parameters params{0.005f, 10};
+  Options eager, exhaustive;
+  exhaustive.early_exit = false;
+  const auto with_exit = fdbscan(points, params, eager);
+  const auto without_exit = fdbscan(points, params, exhaustive);
+  EXPECT_LT(with_exit.distance_computations,
+            without_exit.distance_computations / 2);
+}
+
+TEST(WorkCounters, DenseBoxEliminatesDistanceComputationsInDenseData) {
+  // §4.2's purpose: on road-like data, dense cells collapse almost all
+  // of FDBSCAN's point-pair tests.
+  auto points = data::road_network_like(16384, 305);
+  const Parameters params{0.08f, 100};
+  const auto plain = fdbscan(points, params);
+  const auto densebox = fdbscan_densebox(points, params);
+  EXPECT_LT(densebox.distance_computations, plain.distance_computations / 2);
+}
+
+TEST(WorkCounters, GdbscanDoesQuadraticWork) {
+  auto points = testing::random_points<2>(1500, 1.0f, 306);
+  const auto result = baselines::gdbscan(points, Parameters{0.05f, 5});
+  EXPECT_EQ(result.distance_computations, 2LL * 1500 * 1499);
+}
+
+TEST(WorkCounters, TreeAlgorithmsDoFarLessWorkThanGdbscan) {
+  auto points = data::porto_taxi_like(8000, 307);
+  const Parameters params{0.005f, 10};
+  const auto tree = fdbscan(points, params);
+  const auto graph = baselines::gdbscan(points, params);
+  EXPECT_LT(tree.distance_computations, graph.distance_computations / 10);
+}
+
+TEST(WorkCounters, CudaDclustCountsGridScans) {
+  auto points = testing::clustered_points<2>(2000, 4, 1.0f, 0.01f, 308);
+  const auto result = baselines::cuda_dclust(points, Parameters{0.02f, 5});
+  // Every point is expanded or at least seeded once, and each expansion
+  // scans at least its own cell (which contains the point itself).
+  EXPECT_GE(result.distance_computations, 2000);
+}
+
+TEST(WorkCounters, DsdbscanCountsKdTreeWork) {
+  auto points = testing::random_points<2>(2000, 1.0f, 309);
+  const auto result = baselines::dsdbscan(points, Parameters{0.05f, 5});
+  EXPECT_GT(result.distance_computations, 0);
+  EXPECT_LT(result.distance_computations, 2LL * 2000 * 1999);
+}
+
+}  // namespace
+}  // namespace fdbscan
