@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cellwidth"
+  "../bench/ablation_cellwidth.pdb"
+  "CMakeFiles/ablation_cellwidth.dir/ablation_cellwidth.cpp.o"
+  "CMakeFiles/ablation_cellwidth.dir/ablation_cellwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cellwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_index"
+  "../bench/ablation_index.pdb"
+  "CMakeFiles/ablation_index.dir/ablation_index.cpp.o"
+  "CMakeFiles/ablation_index.dir/ablation_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_eps"
+  "../bench/fig4_eps.pdb"
+  "CMakeFiles/fig4_eps.dir/fig4_eps.cpp.o"
+  "CMakeFiles/fig4_eps.dir/fig4_eps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

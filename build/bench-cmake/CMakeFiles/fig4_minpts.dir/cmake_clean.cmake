@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_minpts"
+  "../bench/fig4_minpts.pdb"
+  "CMakeFiles/fig4_minpts.dir/fig4_minpts.cpp.o"
+  "CMakeFiles/fig4_minpts.dir/fig4_minpts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_minpts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_nsweep"
+  "../bench/fig4_nsweep.pdb"
+  "CMakeFiles/fig4_nsweep.dir/fig4_nsweep.cpp.o"
+  "CMakeFiles/fig4_nsweep.dir/fig4_nsweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

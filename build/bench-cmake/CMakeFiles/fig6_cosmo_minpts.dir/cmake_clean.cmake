@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cosmo_minpts"
+  "../bench/fig6_cosmo_minpts.pdb"
+  "CMakeFiles/fig6_cosmo_minpts.dir/fig6_cosmo_minpts.cpp.o"
+  "CMakeFiles/fig6_cosmo_minpts.dir/fig6_cosmo_minpts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cosmo_minpts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

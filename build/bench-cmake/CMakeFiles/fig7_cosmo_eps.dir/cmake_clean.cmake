@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cosmo_eps"
+  "../bench/fig7_cosmo_eps.pdb"
+  "CMakeFiles/fig7_cosmo_eps.dir/fig7_cosmo_eps.cpp.o"
+  "CMakeFiles/fig7_cosmo_eps.dir/fig7_cosmo_eps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cosmo_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

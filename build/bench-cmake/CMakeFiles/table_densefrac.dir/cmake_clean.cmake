@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_densefrac"
+  "../bench/table_densefrac.pdb"
+  "CMakeFiles/table_densefrac.dir/table_densefrac.cpp.o"
+  "CMakeFiles/table_densefrac.dir/table_densefrac.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_densefrac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

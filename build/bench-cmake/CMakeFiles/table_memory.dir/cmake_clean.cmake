@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_memory"
+  "../bench/table_memory.pdb"
+  "CMakeFiles/table_memory.dir/table_memory.cpp.o"
+  "CMakeFiles/table_memory.dir/table_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

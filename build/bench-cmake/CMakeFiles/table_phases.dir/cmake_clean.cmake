@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_phases"
+  "../bench/table_phases.pdb"
+  "CMakeFiles/table_phases.dir/table_phases.cpp.o"
+  "CMakeFiles/table_phases.dir/table_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

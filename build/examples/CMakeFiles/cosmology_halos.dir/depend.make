@@ -1,0 +1,2 @@
+# Empty dependencies file for cosmology_halos.
+# This may be replaced when dependencies are built.

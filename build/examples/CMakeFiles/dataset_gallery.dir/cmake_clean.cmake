@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_gallery.dir/dataset_gallery.cpp.o"
+  "CMakeFiles/dataset_gallery.dir/dataset_gallery.cpp.o.d"
+  "dataset_gallery"
+  "dataset_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_clustering.dir/distributed_clustering.cpp.o"
+  "CMakeFiles/distributed_clustering.dir/distributed_clustering.cpp.o.d"
+  "distributed_clustering"
+  "distributed_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_clustering.dir/hierarchical_clustering.cpp.o"
+  "CMakeFiles/hierarchical_clustering.dir/hierarchical_clustering.cpp.o.d"
+  "hierarchical_clustering"
+  "hierarchical_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_clustering.dir/trajectory_clustering.cpp.o"
+  "CMakeFiles/trajectory_clustering.dir/trajectory_clustering.cpp.o.d"
+  "trajectory_clustering"
+  "trajectory_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

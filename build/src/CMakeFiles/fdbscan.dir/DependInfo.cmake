@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/fdbscan.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/fdbscan.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/fdbscan.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/fdbscan.dir/data/io.cpp.o.d"
+  "/root/repo/src/exec/memory_tracker.cpp" "src/CMakeFiles/fdbscan.dir/exec/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/fdbscan.dir/exec/memory_tracker.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/CMakeFiles/fdbscan.dir/exec/thread_pool.cpp.o" "gcc" "src/CMakeFiles/fdbscan.dir/exec/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbscan.dir/data/generators.cpp.o"
+  "CMakeFiles/fdbscan.dir/data/generators.cpp.o.d"
+  "CMakeFiles/fdbscan.dir/data/io.cpp.o"
+  "CMakeFiles/fdbscan.dir/data/io.cpp.o.d"
+  "CMakeFiles/fdbscan.dir/exec/memory_tracker.cpp.o"
+  "CMakeFiles/fdbscan.dir/exec/memory_tracker.cpp.o.d"
+  "CMakeFiles/fdbscan.dir/exec/thread_pool.cpp.o"
+  "CMakeFiles/fdbscan.dir/exec/thread_pool.cpp.o.d"
+  "libfdbscan.a"
+  "libfdbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

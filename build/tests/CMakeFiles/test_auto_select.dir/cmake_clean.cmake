@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_select.dir/test_auto_select.cpp.o"
+  "CMakeFiles/test_auto_select.dir/test_auto_select.cpp.o.d"
+  "test_auto_select"
+  "test_auto_select.pdb"
+  "test_auto_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_grid.dir/test_dense_grid.cpp.o"
+  "CMakeFiles/test_dense_grid.dir/test_dense_grid.cpp.o.d"
+  "test_dense_grid"
+  "test_dense_grid.pdb"
+  "test_dense_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_densebox.dir/test_densebox.cpp.o"
+  "CMakeFiles/test_densebox.dir/test_densebox.cpp.o.d"
+  "test_densebox"
+  "test_densebox.pdb"
+  "test_densebox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_densebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

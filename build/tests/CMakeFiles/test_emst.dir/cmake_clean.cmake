@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emst.dir/test_emst.cpp.o"
+  "CMakeFiles/test_emst.dir/test_emst.cpp.o.d"
+  "test_emst"
+  "test_emst.pdb"
+  "test_emst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

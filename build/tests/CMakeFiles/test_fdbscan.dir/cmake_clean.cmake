@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdbscan.dir/test_fdbscan.cpp.o"
+  "CMakeFiles/test_fdbscan.dir/test_fdbscan.cpp.o.d"
+  "test_fdbscan"
+  "test_fdbscan.pdb"
+  "test_fdbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_higher_dims.dir/test_higher_dims.cpp.o"
+  "CMakeFiles/test_higher_dims.dir/test_higher_dims.cpp.o.d"
+  "test_higher_dims"
+  "test_higher_dims.pdb"
+  "test_higher_dims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_higher_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

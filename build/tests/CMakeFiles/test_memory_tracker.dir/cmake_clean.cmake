@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_tracker.dir/test_memory_tracker.cpp.o"
+  "CMakeFiles/test_memory_tracker.dir/test_memory_tracker.cpp.o.d"
+  "test_memory_tracker"
+  "test_memory_tracker.pdb"
+  "test_memory_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameter_selection.dir/test_parameter_selection.cpp.o"
+  "CMakeFiles/test_parameter_selection.dir/test_parameter_selection.cpp.o.d"
+  "test_parameter_selection"
+  "test_parameter_selection.pdb"
+  "test_parameter_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameter_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_atomic[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_tracker[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_union_find[1]_include.cmake")
+include("/root/repo/build/tests/test_bvh[1]_include.cmake")
+include("/root/repo/build/tests/test_kdtree[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_uniform_grid_index[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_fdbscan[1]_include.cmake")
+include("/root/repo/build/tests/test_densebox[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_work_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_auto_select[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_radix_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_more_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_higher_dims[1]_include.cmake")
+include("/root/repo/build/tests/test_periodic[1]_include.cmake")
+include("/root/repo/build/tests/test_emst[1]_include.cmake")
+include("/root/repo/build/tests/test_parameter_selection[1]_include.cmake")
