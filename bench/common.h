@@ -86,6 +86,14 @@ inline void report(benchmark::State& state, const Clustering& result) {
         100.0 * static_cast<double>(result.points_in_dense_cells) /
         static_cast<double>(result.labels.size());
   }
+  // Kernel-launch profile of the main phase (populated by algorithms
+  // that time phases through exec::PhaseProfiler).
+  const auto& main = result.timings.main_profile;
+  if (main.launches > 0) {
+    state.counters["main_launches"] = static_cast<double>(main.launches);
+    state.counters["main_chunks"] = static_cast<double>(main.chunks);
+    state.counters["main_imbalance"] = main.imbalance();
+  }
 }
 
 /// Registers a single-shot benchmark running `fn` (returning a

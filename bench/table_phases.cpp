@@ -24,6 +24,19 @@ void report_phases(benchmark::State& state, const Clustering& result) {
   state.counters["finalize_ms"] = result.timings.finalization * 1e3;
   state.counters["main_share_pct"] =
       100.0 * result.timings.main / result.timings.total();
+  // Per-phase kernel profile: launches, chunk counts and worker busy
+  // seconds come from the exec runtime's profiling layer.
+  auto kernel_counters = [&state](const char* prefix,
+                                  const exec::KernelPhaseProfile& p) {
+    if (p.launches == 0) return;
+    const std::string s(prefix);
+    state.counters[s + "_launches"] = static_cast<double>(p.launches);
+    state.counters[s + "_chunks"] = static_cast<double>(p.chunks);
+    state.counters[s + "_busy_ms"] = p.busy_total * 1e3;
+    state.counters[s + "_imbalance"] = p.imbalance();
+  };
+  kernel_counters("preprocess", result.timings.preprocessing_profile);
+  kernel_counters("main", result.timings.main_profile);
 }
 
 template <class Fn>

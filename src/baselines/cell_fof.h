@@ -12,7 +12,8 @@
 
 #include "core/clustering.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "grid/uniform_grid_index.h"
 #include "unionfind/union_find.h"
@@ -32,16 +33,16 @@ template <int DIM>
   const auto n = static_cast<std::int64_t>(points.size());
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   std::vector<std::int32_t> labels(points.size());
   init_singletons(labels);
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  std::int64_t distance_computations = 0;
+  exec::PerThread<std::int64_t> distance_tally;
   exec::parallel_for(n, [&](std::int64_t i) {
     const auto x = static_cast<std::int32_t>(i);
     std::vector<std::int32_t> neighbors;
@@ -56,16 +57,16 @@ template <int DIM>
         uf.merge(x, y);
       }
     }
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
+  result.distance_computations = distance_tally.combine();
   return result;
 }
 

@@ -8,13 +8,14 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/clustering.h"
 #include "exec/atomic.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "grid/uniform_grid_index.h"
 #include "unionfind/union_find.h"
@@ -35,19 +36,22 @@ template <int DIM>
   const auto n = static_cast<std::int32_t>(points.size());
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // chain_of[p]: chain id once p is absorbed, -1 before. Chains never
   // change after assignment; collisions are resolved at the end.
+  // Collision records and distance tallies go into striped per-thread
+  // slots (persist across rounds), replacing the old mutex-guarded
+  // global list and shared atomic counter.
   std::vector<std::int32_t> chain_of(points.size(), -1);
   std::vector<std::uint8_t> is_core(points.size(), 0);
   std::vector<std::int32_t> chain_seed;       // seed point of each chain
-  std::vector<std::pair<std::int32_t, std::int32_t>> collisions;  // (chain, point)
-  std::mutex collision_mutex;
-  std::int64_t distance_computations = 0;
+  exec::PerThread<std::vector<std::pair<std::int32_t, std::int32_t>>>
+      collision_tally;  // (chain, point)
+  exec::PerThread<std::int64_t> distance_tally;
 
   std::int32_t cursor = 0;
   while (cursor < n) {
@@ -97,15 +101,22 @@ template <int DIM>
               }
             }
           }
-          exec::atomic_fetch_add(distance_computations, tested);
+          distance_tally.local() += tested;
           if (!local_collisions.empty()) {
-            std::lock_guard<std::mutex> lock(collision_mutex);
-            collisions.insert(collisions.end(), local_collisions.begin(),
-                              local_collisions.end());
+            auto& sink = collision_tally.local();
+            sink.insert(sink.end(), local_collisions.begin(),
+                        local_collisions.end());
           }
         });
   }
-  timings.main = timer.lap();
+  // Merge per-thread collision lists in slot order (deterministic for a
+  // fixed thread count, unlike the former lock-acquisition order).
+  std::vector<std::pair<std::int32_t, std::int32_t>> collisions;
+  for (int k = 0; k < collision_tally.num_slots(); ++k) {
+    const auto& part = collision_tally.slot(k);
+    collisions.insert(collisions.end(), part.begin(), part.end());
+  }
+  timings.main = timer.lap(&timings.main_profile);
 
   // --- Collision resolution (the original's CPU stage) --------------------
   // Chains colliding through a *core* point are density-connected and
@@ -165,9 +176,9 @@ template <int DIM>
   }
   result.is_core = std::move(is_core);
   result.num_clusters = next_cluster;
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
+  result.distance_computations = distance_tally.combine();
   return result;
 }
 

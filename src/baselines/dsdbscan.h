@@ -11,7 +11,8 @@
 
 #include "core/clustering.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "kdtree/kdtree.h"
 #include "unionfind/union_find.h"
@@ -26,14 +27,14 @@ template <int DIM>
   const float eps2 = params.eps * params.eps;
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   KdTree<DIM> tree(points);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // Phase 1: core points (full neighborhood count — Algorithm 2 computes
   // |N| per point; no early exit, that refinement belongs to FDBSCAN).
-  std::int64_t distance_computations = 0;
+  exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   exec::parallel_for(n, [&](std::int64_t i) {
     const auto& p = points[static_cast<std::size_t>(i)];
@@ -47,9 +48,9 @@ template <int DIM>
         },
         &tested);
     if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // Phase 2: each core point unions with its neighbors.
   std::vector<std::int32_t> labels(points.size());
@@ -67,16 +68,16 @@ template <int DIM>
           return KdTree<DIM>::TraversalControlKd::kContinue;
         },
         &tested);
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
+  result.distance_computations = distance_tally.combine();
   return result;
 }
 

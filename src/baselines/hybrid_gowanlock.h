@@ -17,7 +17,8 @@
 #include "core/clustering.h"
 #include "exec/memory_tracker.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "grid/uniform_grid_index.h"
 #include "unionfind/union_find.h"
@@ -40,13 +41,13 @@ template <int DIM>
   const auto n = static_cast<std::int32_t>(points.size());
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // Device pass 1: neighbor counts (cheap, no materialization).
-  std::int64_t distance_computations = 0;
+  exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::int64_t> counts(points.size());
   exec::parallel_for(n, [&](std::int64_t i) {
     std::vector<std::int32_t> neighbors;
@@ -54,14 +55,14 @@ template <int DIM>
         index.neighbors(points[static_cast<std::size_t>(i)], neighbors);
     counts[static_cast<std::size_t>(i)] =
         static_cast<std::int64_t>(neighbors.size());
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
   std::vector<std::uint8_t> is_core(points.size(), 0);
   exec::parallel_for(n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     is_core[ui] = counts[ui] >= params.minpts ? 1 : 0;
   });
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // Batched materialize-and-consume: points are packed greedily into
   // batches whose total neighbor count fits the device buffer.
@@ -98,8 +99,8 @@ template <int DIM>
           index.neighbors(points[static_cast<std::size_t>(x)], neighbors);
           std::copy(neighbors.begin(), neighbors.end(),
                     buffer.begin() + offsets[static_cast<std::size_t>(k)]);
-          exec::atomic_fetch_add(distance_computations,
-                                 static_cast<std::int64_t>(neighbors.size()));
+          distance_tally.local() +=
+              static_cast<std::int64_t>(neighbors.size());
         });
     // "Host" pass: sequential disjoint-set clustering over the lists.
     for (std::size_t k = 0; k < batch_ids.size(); ++k) {
@@ -115,14 +116,14 @@ template <int DIM>
     }
     batch_start = i;
   }
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
+  result.distance_computations = distance_tally.combine();
   if (memory) result.peak_memory_bytes = memory->peak();
   return result;
 }

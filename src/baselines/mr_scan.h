@@ -11,7 +11,8 @@
 
 #include "core/clustering.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "grid/uniform_grid_index.h"
 #include "unionfind/union_find.h"
@@ -25,13 +26,13 @@ template <int DIM>
   const auto n = static_cast<std::int64_t>(points.size());
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // Phase 1: core points, before any cluster generation.
-  std::int64_t distance_computations = 0;
+  exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   exec::parallel_for(n, [&](std::int64_t i) {
     std::vector<std::int32_t> neighbors;
@@ -40,9 +41,9 @@ template <int DIM>
     if (static_cast<std::int32_t>(neighbors.size()) >= params.minpts) {
       is_core[static_cast<std::size_t>(i)] = 1;
     }
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // Phase 2: cluster generation through the disjoint-set structure.
   std::vector<std::int32_t> labels(points.size());
@@ -57,16 +58,16 @@ template <int DIM>
     for (std::int32_t y : neighbors) {
       if (y != x) detail::resolve_pair(uf, is_core, x, y, variant);
     }
-    exec::atomic_fetch_add(distance_computations, tested);
+    distance_tally.local() += tested;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
+  result.distance_computations = distance_tally.combine();
   return result;
 }
 

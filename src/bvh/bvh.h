@@ -156,9 +156,9 @@ class Bvh {
 
   /// Unmasked range query.
   template <class Callback>
-  void for_each_near(const Point<DIM>& p, float eps_squared,
-                     Callback&& cb) const {
-    for_each_near(p, eps_squared, 0, std::forward<Callback>(cb));
+  void for_each_near(const Point<DIM>& p, float eps_squared, Callback&& cb,
+                     TraversalStats* stats = nullptr) const {
+    for_each_near(p, eps_squared, 0, std::forward<Callback>(cb), stats);
   }
 
   /// k-nearest-neighbor query (by primitive bounds distance; exact point

@@ -7,6 +7,7 @@
 #include "exec/atomic.h"
 #include "exec/memory_tracker.h"
 #include "exec/parallel.h"
+#include "exec/profile.h"
 #include "unionfind/union_find.h"
 
 namespace fdbscan {
@@ -47,12 +48,19 @@ struct Options {
   exec::MemoryTracker* memory = nullptr;
 };
 
-/// Phase timing breakdown (seconds) reported by every algorithm.
+/// Phase timing breakdown (seconds) reported by every algorithm, plus
+/// the kernel profile of each phase (launches, chunks, per-worker busy
+/// time) from which the benches derive load imbalance (DESIGN.md §7).
 struct PhaseTimings {
   double index_construction = 0.0;  ///< grid and/or tree build
   double preprocessing = 0.0;       ///< core-point determination
   double main = 0.0;                ///< neighbor traversal + union-find
   double finalization = 0.0;        ///< flatten + label assignment
+
+  exec::KernelPhaseProfile index_construction_profile;
+  exec::KernelPhaseProfile preprocessing_profile;
+  exec::KernelPhaseProfile main_profile;
+  exec::KernelPhaseProfile finalization_profile;
 
   [[nodiscard]] double total() const noexcept {
     return index_construction + preprocessing + main + finalization;

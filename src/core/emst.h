@@ -26,6 +26,7 @@
 #include "core/parameter_selection.h"
 #include "exec/atomic.h"
 #include "exec/parallel.h"
+#include "exec/per_thread.h"
 #include "geometry/point.h"
 #include "unionfind/union_find.h"
 
@@ -43,6 +44,13 @@ struct MstConfig {
   /// 1 = plain Euclidean MST; k > 1 = HDBSCAN mutual reachability with
   /// core distances to the k-th neighbor (k plays the role of minpts).
   std::int32_t mutual_reachability_k = 1;
+};
+
+/// Work statistics of a Boruvka run (architecture-neutral, like
+/// Clustering's counters). Accumulated contention-free per thread.
+struct MstStats {
+  std::int64_t rounds = 0;                 ///< Boruvka contraction rounds
+  std::int64_t distance_computations = 0;  ///< metric evaluations in queries
 };
 
 namespace detail {
@@ -66,13 +74,18 @@ namespace detail {
 }  // namespace detail
 
 /// Boruvka MST. Returns exactly n-1 edges for n >= 2 (the complete graph
-/// is always connected); empty for n <= 1.
+/// is always connected); empty for n <= 1. Pass `stats` to receive round
+/// and distance-evaluation counts.
 template <int DIM>
 [[nodiscard]] std::vector<MstEdge> euclidean_mst(
-    const std::vector<Point<DIM>>& points, const MstConfig& config = {}) {
+    const std::vector<Point<DIM>>& points, const MstConfig& config = {},
+    MstStats* stats = nullptr) {
   const auto n = static_cast<std::int32_t>(points.size());
   std::vector<MstEdge> mst;
-  if (n <= 1) return mst;
+  if (n <= 1) {
+    if (stats) *stats = {};
+    return mst;
+  }
   mst.reserve(static_cast<std::size_t>(n) - 1);
 
   Bvh<DIM> bvh(points);
@@ -105,8 +118,14 @@ template <int DIM>
   std::vector<float> candidate_dist2(points.size());
   std::vector<std::uint64_t> component_best(points.size());
 
+  // Distance-evaluation tally: striped per-thread slots, not a shared
+  // atomic — the eval callback is the innermost loop of every query.
+  exec::PerThread<std::int64_t> distance_evals;
+  std::int64_t rounds = 0;
+
   std::int32_t num_components = n;
   while (num_components > 1) {
+    ++rounds;
     // Stable component snapshot for this round.
     exec::parallel_for(n, [&](std::int64_t i) {
       component[static_cast<std::size_t>(i)] =
@@ -119,12 +138,16 @@ template <int DIM>
     exec::parallel_for(n, [&](std::int64_t ii) {
       const auto i = static_cast<std::int32_t>(ii);
       const std::int32_t my_component = component[static_cast<std::size_t>(i)];
+      std::int64_t evals = 0;  // stack-local, flushed once per query
       const auto [target, d2] = bvh.nearest_by(
           points[static_cast<std::size_t>(i)], [&](std::int32_t id) {
-            return component[static_cast<std::size_t>(id)] == my_component
-                       ? std::numeric_limits<float>::infinity()
-                       : metric2(i, id);
+            if (component[static_cast<std::size_t>(id)] == my_component) {
+              return std::numeric_limits<float>::infinity();
+            }
+            ++evals;
+            return metric2(i, id);
           });
+      distance_evals.local() += evals;
       candidate[static_cast<std::size_t>(i)] = target;
       candidate_dist2[static_cast<std::size_t>(i)] = d2;
       if (target >= 0) {
@@ -150,6 +173,10 @@ template <int DIM>
            std::sqrt(candidate_dist2[static_cast<std::size_t>(from)])});
       --num_components;
     }
+  }
+  if (stats) {
+    stats->rounds = rounds;
+    stats->distance_computations = distance_evals.combine();
   }
   return mst;
 }

@@ -21,7 +21,8 @@
 
 #include "bvh/bvh.h"
 #include "core/clustering.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 
 namespace fdbscan {
@@ -38,16 +39,17 @@ template <int DIM>
   exec::ScopedCharge charge(
       options.memory,
       points.size() * (sizeof(std::int32_t) + sizeof(std::uint8_t)));
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
 
   Bvh<DIM> bvh(points);
   exec::ScopedCharge bvh_charge(options.memory, bvh.bytes_used());
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // --- Preprocessing: determine core points -------------------------------
-  std::int64_t distance_computations = 0;
-  std::int64_t nodes_visited = 0;
+  // Work counters accumulate into striped per-thread slots: a shared
+  // atomic here would serialize every traversal thread on one cache line.
+  exec::PerThread<TraversalStats> work;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   if (params.minpts <= 1) {
     // Degenerate density threshold: every point is core.
@@ -58,7 +60,7 @@ template <int DIM>
     exec::parallel_for(n, [&](std::int64_t i) {
       const auto& x = points[static_cast<std::size_t>(i)];
       std::int32_t count = 0;  // the traversal finds x itself at distance 0
-      TraversalStats stats;
+      TraversalStats stats;  // stack-local: increments stay in registers
       bvh.for_each_near(
           x, eps2, 0,
           [&](std::int32_t, std::int32_t) {
@@ -69,11 +71,10 @@ template <int DIM>
           },
           &stats);
       if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
-      exec::atomic_fetch_add(distance_computations, stats.leaves_tested);
-      exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+      work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // --- Main phase: fused traversal + union-find ---------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -108,19 +109,19 @@ template <int DIM>
           return TraversalControl::kContinue;
         },
         &stats);
-    exec::atomic_fetch_add(distance_computations, stats.leaves_tested);
-    exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+    work.local() += stats;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   // --- Finalization --------------------------------------------------------
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
-  result.distance_computations = distance_computations;
-  result.index_nodes_visited = nodes_visited;
+  const TraversalStats total_work = work.combine();
+  result.distance_computations = total_work.leaves_tested;
+  result.index_nodes_visited = total_work.nodes_visited;
   if (options.memory) result.peak_memory_bytes = options.memory->peak();
   return result;
 }

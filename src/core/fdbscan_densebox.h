@@ -19,7 +19,8 @@
 
 #include "bvh/bvh.h"
 #include "core/clustering.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 #include "grid/dense_grid.h"
 
@@ -36,7 +37,7 @@ template <int DIM>
   exec::ScopedCharge charge(
       options.memory,
       points.size() * (sizeof(std::int32_t) + sizeof(std::uint8_t)));
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
 
   // --- Index construction: grid, then BVH over mixed primitives -----------
   const std::int32_t minpts_for_dense = std::max(params.minpts, std::int32_t{1});
@@ -78,15 +79,16 @@ template <int DIM>
       options.memory,
       bvh.bytes_used() + isolated_ids.size() * sizeof(std::int32_t));
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // --- Preprocessing -------------------------------------------------------
   // Work accounting: explicit within() scans over dense-cell members plus
   // every leaf-primitive bounds test (exact for point primitives, a
   // box-distance test for dense-box primitives) count as distance
-  // computations; internal node tests count as index work.
-  std::int64_t distance_computations = 0;
-  std::int64_t nodes_visited = 0;
+  // computations; internal node tests count as index work. Tallies go
+  // into striped per-thread slots (leaves_tested absorbs the member
+  // scans) — never a shared atomic in the traversal loop.
+  exec::PerThread<TraversalStats> work;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   exec::parallel_for(dense_points, [&](std::int64_t k) {
     is_core[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = 1;
@@ -101,7 +103,7 @@ template <int DIM>
       const auto& px = points[static_cast<std::size_t>(x)];
       std::int32_t count = 0;  // includes x itself (found as a primitive)
       std::int64_t scans = 0;
-      TraversalStats stats;
+      TraversalStats stats;  // stack-local: increments stay in registers
       bvh.for_each_near(
           px, eps2, 0,
           [&](std::int32_t, std::int32_t pid) {
@@ -127,12 +129,11 @@ template <int DIM>
           },
           &stats);
       if (count >= params.minpts) is_core[static_cast<std::size_t>(x)] = 1;
-      exec::atomic_fetch_add(distance_computations,
-                             scans + stats.leaves_tested);
-      exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+      stats.leaves_tested += scans;
+      work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // --- Main phase -----------------------------------------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -156,7 +157,9 @@ template <int DIM>
     const auto& px = points[static_cast<std::size_t>(x)];
     const std::int32_t own_cell =
         grid.dense_cell_of()[static_cast<std::size_t>(x)];
-    const bool xc = is_core[static_cast<std::size_t>(x)] != 0;
+    // Atomic: in the FoF path other threads set is_core[x] concurrently.
+    const bool xc =
+        exec::atomic_load_relaxed(is_core[static_cast<std::size_t>(x)]) != 0;
     std::int64_t scans = 0;
     TraversalStats stats;
     bvh.for_each_near(
@@ -199,21 +202,22 @@ template <int DIM>
       return TraversalControl::kContinue;
         },
         &stats);
-    exec::atomic_fetch_add(distance_computations, scans + stats.leaves_tested);
-    exec::atomic_fetch_add(nodes_visited, stats.nodes_visited);
+    stats.leaves_tested += scans;
+    work.local() += stats;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   // --- Finalization ---------------------------------------------------------
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
   result.num_dense_cells = num_cells;
   result.points_in_dense_cells = dense_points;
-  result.distance_computations = distance_computations;
-  result.index_nodes_visited = nodes_visited;
+  const TraversalStats total_work = work.combine();
+  result.distance_computations = total_work.leaves_tested;
+  result.index_nodes_visited = total_work.nodes_visited;
   if (options.memory) result.peak_memory_bytes = options.memory->peak();
   return result;
 }

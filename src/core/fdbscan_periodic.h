@@ -19,7 +19,8 @@
 
 #include "bvh/bvh.h"
 #include "core/clustering.h"
-#include "exec/timer.h"
+#include "exec/per_thread.h"
+#include "exec/profile.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "unionfind/union_find.h"
@@ -98,12 +99,15 @@ template <int DIM>
     }
   }
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   Bvh<DIM> bvh(points);
   PhaseTimings timings;
-  timings.index_construction = timer.lap();
+  timings.index_construction = timer.lap(&timings.index_construction_profile);
 
   // --- Preprocessing -------------------------------------------------------
+  // Image queries count toward the same striped per-thread work tallies
+  // as the interior traversal (they are real tree traversals).
+  exec::PerThread<TraversalStats> work;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   if (params.minpts <= 1) {
     exec::parallel_for(n, [&](std::int64_t i) {
@@ -113,24 +117,26 @@ template <int DIM>
     exec::parallel_for(n, [&](std::int64_t i) {
       const auto& x = points[static_cast<std::size_t>(i)];
       std::int32_t count = 0;
+      TraversalStats stats;  // stack-local: increments stay in registers
       auto counting = [&](std::int32_t, std::int32_t) {
         ++count;
         return (options.early_exit && count >= params.minpts)
                    ? TraversalControl::kTerminate
                    : TraversalControl::kContinue;
       };
-      bvh.for_each_near(x, eps2, counting);
+      bvh.for_each_near(x, eps2, counting, &stats);
       if (count < params.minpts || !options.early_exit) {
         detail::for_each_periodic_image(
             x, domain, params.eps, [&](const Point<DIM>& image) {
               if (count >= params.minpts && options.early_exit) return;
-              bvh.for_each_near(image, eps2, counting);
+              bvh.for_each_near(image, eps2, counting, &stats);
             });
       }
       if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
+      work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap();
+  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
 
   // --- Main phase -----------------------------------------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -141,6 +147,7 @@ template <int DIM>
   exec::parallel_for(n, [&](std::int64_t pos) {
     const std::int32_t x = bvh.primitive_at(static_cast<std::int32_t>(pos));
     const auto& px = points[static_cast<std::size_t>(x)];
+    TraversalStats stats;
     auto resolve = [&](std::int32_t, std::int32_t y) {
       if (y != x) {
         if (fof) {
@@ -158,21 +165,25 @@ template <int DIM>
     // Interior pairs: masked traversal as in fdbscan().
     const std::int32_t mask =
         options.masked_traversal ? static_cast<std::int32_t>(pos) + 1 : 0;
-    bvh.for_each_near(px, eps2, mask, resolve);
+    bvh.for_each_near(px, eps2, mask, resolve, &stats);
     // Cross-boundary pairs via images: unmasked (each such pair is seen
     // from both endpoints; resolution is idempotent).
-    detail::for_each_periodic_image(px, domain, params.eps,
-                                    [&](const Point<DIM>& image) {
-                                      bvh.for_each_near(image, eps2, resolve);
-                                    });
+    detail::for_each_periodic_image(
+        px, domain, params.eps, [&](const Point<DIM>& image) {
+          bvh.for_each_near(image, eps2, resolve, &stats);
+        });
+    work.local() += stats;
   });
-  timings.main = timer.lap();
+  timings.main = timer.lap(&timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap();
+  timings.finalization = timer.lap(&timings.finalization_profile);
   result.timings = timings;
+  const TraversalStats total_work = work.combine();
+  result.distance_computations = total_work.leaves_tested;
+  result.index_nodes_visited = total_work.nodes_visited;
   return result;
 }
 

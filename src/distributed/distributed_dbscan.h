@@ -29,6 +29,7 @@
 
 #include "bvh/bvh.h"
 #include "core/clustering.h"
+#include "exec/per_thread.h"
 #include "exec/timer.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
@@ -217,7 +218,7 @@ template <int DIM>
     // Main phase over owned points. Pair-once rule: the rank owning the
     // globally-smaller id resolves the edge (it always holds both
     // endpoints thanks to the halo).
-    std::int64_t cross_edges = 0;
+    exec::PerThread<std::int64_t> cross_edges;
     exec::parallel_for(owned, [&](std::int64_t k) {
       const std::int32_t x = ids[static_cast<std::size_t>(k)];
       const auto& p = local_points[static_cast<std::size_t>(k)];
@@ -239,10 +240,10 @@ template <int DIM>
         return TraversalControl::kContinue;
       });
       if (local_cross > 0) {
-        exec::atomic_fetch_add(cross_edges, local_cross);
+        cross_edges.local() += local_cross;
       }
     });
-    stats.cross_rank_edges = cross_edges;
+    stats.cross_rank_edges = cross_edges.combine();
   }
   timings.main = timer.lap();
 

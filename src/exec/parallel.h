@@ -21,6 +21,17 @@ inline std::int64_t default_grain(std::int64_t n, int threads) {
   // Enough chunks for dynamic load balancing without excessive dispatch.
   return std::max<std::int64_t>(1, n / (static_cast<std::int64_t>(threads) * 8));
 }
+
+inline std::int64_t reduce_grain(std::int64_t n) {
+  // parallel_reduce chunking must NOT depend on the worker count: the
+  // grouping of the per-chunk partials is part of the result for
+  // non-associative-in-practice ops (float +), and the determinism
+  // guarantee (DESIGN.md §7) is "bit-identical at any thread count".
+  // 256 chunks saturate any realistic pool while keeping the in-order
+  // merge trivial.
+  constexpr std::int64_t kReduceChunks = 256;
+  return std::max<std::int64_t>(1, (n + kReduceChunks - 1) / kReduceChunks);
+}
 }  // namespace detail
 
 /// parallel_for: invokes f(i) for every i in [0, n).
@@ -36,25 +47,31 @@ void parallel_for(std::int64_t n, F&& f) {
 }
 
 /// parallel_reduce: computes reduce(init, f(0), f(1), ..., f(n-1)) where
-/// `reduce` is an associative, commutative binary op and f(i) -> T.
+/// `reduce` is an associative binary op and f(i) -> T (T must be
+/// default-constructible). Deterministic: the index space is cut into a
+/// fixed, thread-count-independent set of chunks, each chunk's partial
+/// lands in its own slot, and the partials are merged serially in chunk
+/// order — so even float sums are bit-identical from run to run at any
+/// FDBSCAN_NUM_THREADS.
 template <class T, class F, class R>
 [[nodiscard]] T parallel_reduce(std::int64_t n, T init, F&& f, R&& reduce) {
   if (n <= 0) return init;
   auto& p = detail::pool();
-  // One partial per chunk, merged serially at the end. Chunk count is
-  // bounded, so the merge is O(threads * 8).
-  std::vector<T> partials;
-  std::mutex merge_mutex;
+  const std::int64_t grain = detail::reduce_grain(n);
+  const std::int64_t nchunks = (n + grain - 1) / grain;
+  // One partial per chunk, indexed by chunk position (the pool hands out
+  // chunk k as exactly [k*grain, min((k+1)*grain, n)), so each slot is
+  // written exactly once — no mutex, no ordering dependence).
+  std::vector<T> partials(static_cast<std::size_t>(nchunks));
   std::function<void(std::int64_t, std::int64_t)> body =
       [&](std::int64_t begin, std::int64_t end) {
         T acc = f(begin);
         for (std::int64_t i = begin + 1; i < end; ++i) acc = reduce(acc, f(i));
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        partials.push_back(acc);
+        partials[static_cast<std::size_t>(begin / grain)] = std::move(acc);
       };
-  p.run(n, detail::default_grain(n, p.workers()), body);
-  T total = init;
-  for (const T& x : partials) total = reduce(total, x);
+  p.run(n, grain, body);
+  T total = std::move(init);
+  for (T& x : partials) total = reduce(std::move(total), std::move(x));
   return total;
 }
 

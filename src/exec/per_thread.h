@@ -1,0 +1,77 @@
+// PerThread<T> — striped per-worker accumulator, the contention-free
+// replacement for hot-loop atomic_fetch_add on a shared counter. Every
+// runtime thread (dispatcher = slot 0, workers = 1..num_threads()-1) owns
+// one cache-line-aligned slot; kernels accumulate into local() with plain
+// loads/stores and the owner combines the slots after the launch. This is
+// the scratch-per-team idiom of the GPU substrate the paper runs on: a
+// shared atomic serializes every lane on one cache line, a striped
+// accumulator costs a private write (DESIGN.md §7).
+//
+// Contract: local() may be called from inside kernels and from the
+// dispatching thread between kernels. combine()/sum() must only be called
+// outside a parallel region (they read every slot unsynchronized — the
+// launch boundary is the barrier). A PerThread must not be used across a
+// set_num_threads() call that grows the pool (slots are sized at
+// construction; asserted).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace fdbscan::exec {
+
+template <class T>
+class PerThread {
+ public:
+  explicit PerThread(const T& init = T{})
+      : slots_(static_cast<std::size_t>(num_threads()), Slot{init}) {}
+
+  /// The calling thread's private slot.
+  [[nodiscard]] T& local() noexcept {
+    const auto i = static_cast<std::size_t>(thread_index());
+    assert(i < slots_.size() &&
+           "PerThread used after set_num_threads() grew the pool");
+    return slots_[i].value;
+  }
+
+  /// Folds all slots with `op(acc, slot)` starting from `init`, in slot
+  /// order (deterministic). Call only outside a parallel region.
+  template <class Op>
+  [[nodiscard]] T combine(T init, Op&& op) const {
+    for (const Slot& s : slots_) init = op(std::move(init), s.value);
+    return init;
+  }
+
+  /// Folds all slots with operator+= from a value-initialized T —
+  /// the common case for counters and TraversalStats-like tallies.
+  [[nodiscard]] T combine() const {
+    T total{};
+    for (const Slot& s : slots_) total += s.value;
+    return total;
+  }
+
+  /// Number of slots (== num_threads() at construction).
+  [[nodiscard]] int num_slots() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+
+  /// Direct slot access (tests, custom merges in slot order).
+  [[nodiscard]] const T& slot(int i) const noexcept {
+    return slots_[static_cast<std::size_t>(i)].value;
+  }
+  [[nodiscard]] T& slot(int i) noexcept {
+    return slots_[static_cast<std::size_t>(i)].value;
+  }
+
+ private:
+  // One cache line per slot so neighboring workers never false-share.
+  struct alignas(64) Slot {
+    T value;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace fdbscan::exec

@@ -1,0 +1,89 @@
+// Lightweight kernel profiling for the exec runtime: every parallel
+// launch records its launch count, chunk count and the busy time of each
+// participating thread (one clock-read pair per thread per launch — cheap
+// enough to stay always-on). Algorithms snapshot the cumulative counters
+// at phase boundaries through PhaseProfiler and surface the deltas in
+// PhaseTimings, which is how the benches report per-phase load imbalance
+// (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/timer.h"
+
+namespace fdbscan::exec {
+
+/// Cumulative profile counters since process start. `busy[i]` is the
+/// total seconds thread-index i spent executing kernel chunks (including
+/// nested launches, attributed to the executing thread).
+struct KernelProfileSnapshot {
+  std::int64_t launches = 0;
+  std::int64_t chunks = 0;
+  std::vector<double> busy;
+};
+
+/// Reads the current cumulative counters. Thread-safe; typically called
+/// between kernels (counters of an in-flight launch land at its end).
+[[nodiscard]] KernelProfileSnapshot kernel_profile();
+
+/// Aggregated profile of one phase (a delta between two snapshots).
+struct KernelPhaseProfile {
+  std::int64_t launches = 0;  ///< parallel launches issued (incl. nested)
+  std::int64_t chunks = 0;    ///< chunks executed across those launches
+  int workers = 0;            ///< threads that executed at least one chunk
+  double busy_total = 0.0;    ///< summed per-thread busy seconds
+  double busy_max = 0.0;      ///< busiest thread's busy seconds
+
+  /// Load-imbalance factor: busiest thread vs. the mean busy thread.
+  /// 1.0 = perfectly balanced, W = all work on one of W threads,
+  /// 0.0 = no parallel work recorded in this phase.
+  [[nodiscard]] double imbalance() const noexcept {
+    if (workers <= 0 || busy_total <= 0.0) return 0.0;
+    return busy_max * static_cast<double>(workers) / busy_total;
+  }
+};
+
+/// Difference of two cumulative snapshots (`after` taken later).
+[[nodiscard]] inline KernelPhaseProfile profile_delta(
+    const KernelProfileSnapshot& before, const KernelProfileSnapshot& after) {
+  KernelPhaseProfile d;
+  d.launches = after.launches - before.launches;
+  d.chunks = after.chunks - before.chunks;
+  for (std::size_t i = 0; i < after.busy.size(); ++i) {
+    const double b = i < before.busy.size() ? before.busy[i] : 0.0;
+    const double dt = after.busy[i] - b;
+    if (dt > 0.0) {
+      ++d.workers;
+      d.busy_total += dt;
+      if (dt > d.busy_max) d.busy_max = dt;
+    }
+  }
+  return d;
+}
+
+/// Drop-in upgrade of Timer for phase sequencing: lap() returns elapsed
+/// seconds like Timer::lap() and, when given an out-param, also the
+/// kernel profile of the elapsed phase.
+class PhaseProfiler {
+ public:
+  PhaseProfiler() : last_(kernel_profile()) {}
+
+  double lap(KernelPhaseProfile* profile = nullptr) {
+    const double s = timer_.lap();
+    if (profile) {
+      KernelProfileSnapshot now = kernel_profile();
+      *profile = profile_delta(last_, now);
+      last_ = std::move(now);
+    } else {
+      last_ = kernel_profile();
+    }
+    return s;
+  }
+
+ private:
+  Timer timer_;
+  KernelProfileSnapshot last_;
+};
+
+}  // namespace fdbscan::exec

@@ -1,10 +1,14 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cstdlib>
 #include <memory>
 
 #include "exec/atomic.h"
+#include "exec/profile.h"
+#include "exec/timer.h"
 
 namespace fdbscan::exec {
 
@@ -19,25 +23,107 @@ int default_num_threads() {
   return hc > 0 ? static_cast<int>(hc) : 1;
 }
 
-int g_num_threads = 0;  // 0 = not yet initialized
+std::atomic<int> g_num_threads{0};  // 0 = not yet initialized
+
+// Pool ownership is behind g_pool_mutex; g_pool_raw is the lock-free
+// fast-path handle so pool() costs one acquire load per launch.
+std::mutex g_pool_mutex;
 std::unique_ptr<detail::ThreadPool> g_pool;
+std::atomic<detail::ThreadPool*> g_pool_raw{nullptr};
+
+// Per-thread runtime identity. Workers are assigned 1..workers-1 at
+// spawn; every other thread (the dispatcher included) is 0. Nested
+// launches execute inline, so the identity never changes mid-kernel.
+thread_local int t_thread_index = 0;
+thread_local int t_parallel_depth = 0;
+
+// --- Kernel profiling (see exec/profile.h) -------------------------------
+// Per-thread busy slots are padded to a cache line and written only by
+// their owning thread; snapshots read them with relaxed atomics.
+constexpr int kMaxProfiledThreads = 256;
+struct alignas(64) BusySlot {
+  double seconds = 0.0;
+};
+BusySlot g_busy[kMaxProfiledThreads];
+std::atomic<int> g_busy_high_water{0};  // 1 + highest slot ever written
+std::atomic<std::int64_t> g_profile_launches{0};
+std::atomic<std::int64_t> g_profile_chunks{0};
+
+void profile_add_busy(double seconds) noexcept {
+  const int i = t_thread_index;
+  if (i >= kMaxProfiledThreads) return;
+  std::atomic_ref<double> slot(g_busy[i].seconds);
+  slot.store(slot.load(std::memory_order_relaxed) + seconds,
+             std::memory_order_relaxed);
+  int hw = g_busy_high_water.load(std::memory_order_relaxed);
+  while (hw < i + 1 && !g_busy_high_water.compare_exchange_weak(
+                           hw, i + 1, std::memory_order_relaxed)) {
+  }
+}
+
+void profile_add_launch(std::int64_t chunks) noexcept {
+  g_profile_launches.fetch_add(1, std::memory_order_relaxed);
+  g_profile_chunks.fetch_add(chunks, std::memory_order_relaxed);
+}
 
 }  // namespace
 
 int num_threads() noexcept {
-  if (g_num_threads == 0) g_num_threads = default_num_threads();
-  return g_num_threads;
+  int n = g_num_threads.load(std::memory_order_acquire);
+  if (n == 0) {
+    int fresh = default_num_threads();
+    if (g_num_threads.compare_exchange_strong(n, fresh,
+                                              std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    // Another thread initialized first; n now holds its value.
+  }
+  return n;
 }
 
 void set_num_threads(int n) {
-  g_num_threads = std::max(1, n);
+  // Contract (DESIGN.md §7): never call while a kernel is in flight. A
+  // nested call would tear the pool down under the very launch executing
+  // it; a call concurrent with another thread's dispatch is drained via
+  // quiesce(), but a dispatch *starting* after the drain is a race the
+  // caller must exclude.
+  assert(!in_parallel_region() &&
+         "set_num_threads() must not be called from inside a parallel kernel");
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool) g_pool->quiesce();
+  g_pool_raw.store(nullptr, std::memory_order_release);
   g_pool.reset();  // lazily recreated with the new size
+  g_num_threads.store(std::max(1, n), std::memory_order_release);
+}
+
+int thread_index() noexcept { return t_thread_index; }
+
+bool in_parallel_region() noexcept { return t_parallel_depth > 0; }
+
+KernelProfileSnapshot kernel_profile() {
+  KernelProfileSnapshot snap;
+  snap.launches = g_profile_launches.load(std::memory_order_relaxed);
+  snap.chunks = g_profile_chunks.load(std::memory_order_relaxed);
+  const int hw = g_busy_high_water.load(std::memory_order_relaxed);
+  snap.busy.resize(static_cast<std::size_t>(hw));
+  for (int i = 0; i < hw; ++i) {
+    snap.busy[static_cast<std::size_t>(i)] =
+        std::atomic_ref<double>(g_busy[i].seconds)
+            .load(std::memory_order_relaxed);
+  }
+  return snap;
 }
 
 namespace detail {
 
 ThreadPool& pool() {
-  if (!g_pool) g_pool = std::make_unique<ThreadPool>(num_threads());
+  ThreadPool* p = g_pool_raw.load(std::memory_order_acquire);
+  if (p) return *p;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(num_threads());
+    g_pool_raw.store(g_pool.get(), std::memory_order_release);
+  }
   return *g_pool;
 }
 
@@ -46,7 +132,7 @@ ThreadPool::ThreadPool(int workers) {
   int extra = std::max(0, workers - 1);
   threads_.reserve(static_cast<std::size_t>(extra));
   for (int i = 0; i < extra; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -59,7 +145,14 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::quiesce() {
+  // A launch in flight holds launch_mutex_ for its whole duration, so
+  // acquiring it once is a full drain.
+  std::lock_guard<std::mutex> lock(launch_mutex_);
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_thread_index = index;
   std::uint64_t seen = 0;
   for (;;) {
     std::uint64_t generation;
@@ -82,22 +175,40 @@ void ThreadPool::work(std::uint64_t /*generation*/) {
   const std::int64_t n = job_n_;
   const std::int64_t grain = job_grain_;
   const auto& body = *job_body_;
+  Timer busy;
+  ++t_parallel_depth;
   for (;;) {
     std::int64_t begin = atomic_fetch_add(job_next_, grain);
     if (begin >= n) break;
     body(begin, std::min(begin + grain, n));
   }
+  --t_parallel_depth;
+  profile_add_busy(busy.seconds());
 }
 
 void ThreadPool::run(std::int64_t n, std::int64_t grain,
                      const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (n <= 0) return;
   grain = std::max<std::int64_t>(1, grain);
-  if (threads_.empty() || n <= grain) {
-    // Serial fast path: no dispatch overhead, still chunked identically.
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  if (t_parallel_depth > 0 || threads_.empty() || n <= grain) {
+    // Inline serial path, chunked identically to the pooled dispatch.
+    // Covers (a) nested launches — executing them inline on the calling
+    // thread keeps the outer job state intact (the Kokkos behavior) and
+    // cannot deadlock on the busy pool — and (b) the no-worker / tiny-n
+    // fast path.
+    Timer busy;
+    ++t_parallel_depth;
     for (std::int64_t b = 0; b < n; b += grain) body(b, std::min(b + grain, n));
+    --t_parallel_depth;
+    profile_add_busy(busy.seconds());
+    profile_add_launch(chunks);
     return;
   }
+  // Top-level dispatches from distinct user threads are serialized: the
+  // pool holds a single job slot.
+  std::lock_guard<std::mutex> launch(launch_mutex_);
+  std::uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_n_ = n;
@@ -105,13 +216,16 @@ void ThreadPool::run(std::int64_t n, std::int64_t grain,
     job_next_ = 0;
     job_body_ = &body;
     active_ = static_cast<int>(threads_.size());
-    ++generation_;
+    generation = ++generation_;
   }
   cv_start_.notify_all();
-  work(generation_);  // the caller participates
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return active_ == 0; });
-  job_body_ = nullptr;
+  work(generation);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+    job_body_ = nullptr;
+  }
+  profile_add_launch(chunks);
 }
 
 }  // namespace detail

@@ -1,7 +1,8 @@
 // A persistent worker pool that executes flat index spaces with dynamic
 // (work-stealing-counter) scheduling. This is the "device" of the
 // reproduction: the paper runs its kernels on a V100 through Kokkos; we run
-// the identical kernels on a thread pool. See DESIGN.md §2.
+// the identical kernels on a thread pool. See DESIGN.md §2 and §7 (the
+// runtime contract: reentrancy, determinism, per-thread accumulation).
 #pragma once
 
 #include <condition_variable>
@@ -15,17 +16,37 @@ namespace fdbscan::exec {
 
 /// Number of worker threads used by parallel kernels. Defaults to
 /// FDBSCAN_NUM_THREADS env var if set, otherwise hardware concurrency.
+/// Lazy initialization is thread-safe.
 int num_threads() noexcept;
 
-/// Override the worker count (recreates the pool). Thread-safe with
-/// respect to concurrent parallel dispatches is NOT provided: call only
-/// from the main thread between kernels.
+/// Override the worker count (recreates the pool). Must not be called
+/// while any parallel launch is in flight (asserted): call only between
+/// kernels, e.g. from the main thread of a test or bench. Launches
+/// already dispatched from other threads are drained first.
 void set_num_threads(int n);
+
+/// Stable index of the calling thread within the runtime: 0 for a
+/// dispatching (non-pool) thread, 1..num_threads()-1 for pool workers.
+/// Always in [0, num_threads()) while inside a kernel; nested kernels
+/// execute inline on the calling thread, so the index is stable across
+/// nesting. This is the slot index used by PerThread<T>.
+[[nodiscard]] int thread_index() noexcept;
+
+/// True while the calling thread is executing inside a parallel kernel
+/// (including the dispatching thread, which participates). Nested
+/// launches observe true and execute serially inline.
+[[nodiscard]] bool in_parallel_region() noexcept;
 
 namespace detail {
 
 /// Internal pool. Dispatches a kernel over [0, n) in dynamically
 /// scheduled chunks; the calling thread participates.
+///
+/// Reentrancy: a run() issued from inside a running kernel (a nested
+/// launch) executes serially inline on the calling thread — the Kokkos
+/// serial-backend behavior for nested parallelism — instead of touching
+/// the shared job state. Concurrent top-level run() calls from distinct
+/// user threads are serialized through launch_mutex_.
 class ThreadPool {
  public:
   explicit ThreadPool(int workers);
@@ -35,25 +56,34 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs body(begin, end) over contiguous chunks covering [0, n).
-  /// Blocks until all chunks are processed. `grain` is the chunk size.
+  /// Blocks until all chunks are processed. `grain` is the chunk size;
+  /// chunk k covers [k*grain, min((k+1)*grain, n)) in every execution
+  /// mode (pooled, serial, nested), which is what makes chunk-indexed
+  /// reductions deterministic.
   void run(std::int64_t n, std::int64_t grain,
            const std::function<void(std::int64_t, std::int64_t)>& body);
 
   int workers() const noexcept { return static_cast<int>(threads_.size()) + 1; }
 
+  /// Blocks until no launch is in flight (used by set_num_threads before
+  /// tearing the pool down).
+  void quiesce();
+
  private:
-  void worker_loop();
+  void worker_loop(int index);
   void work(std::uint64_t generation);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
+  std::mutex launch_mutex_;  // serializes top-level dispatches
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::uint64_t generation_ = 0;
   int active_ = 0;
   bool stop_ = false;
 
-  // Current job (valid while active_ > 0).
+  // Current job (valid while active_ > 0; written under mutex_ before
+  // the wake-up notification, read by workers after it).
   std::int64_t job_n_ = 0;
   std::int64_t job_grain_ = 1;
   alignas(64) std::int64_t job_next_ = 0;  // atomic chunk cursor

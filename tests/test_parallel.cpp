@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "exec/atomic.h"
+#include "exec/profile.h"
 #include "test_utils.h"
 
 namespace fdbscan::exec {
@@ -87,6 +89,93 @@ TEST_P(ParallelWithThreads, ExclusiveScanMatchesSerialReference) {
   }
 }
 
+TEST_P(ParallelWithThreads, ThreadIndexStaysInRangeAndRegionFlagIsSet) {
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_EQ(thread_index(), 0);  // dispatching thread is slot 0 outside
+  constexpr std::int64_t kN = 20000;
+  std::vector<std::int32_t> seen_index(kN);
+  std::vector<std::uint8_t> seen_flag(kN);
+  parallel_for(kN, [&](std::int64_t i) {
+    seen_index[static_cast<std::size_t>(i)] = thread_index();
+    seen_flag[static_cast<std::size_t>(i)] = in_parallel_region() ? 1 : 0;
+  });
+  EXPECT_FALSE(in_parallel_region());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_GE(seen_index[static_cast<std::size_t>(i)], 0);
+    ASSERT_LT(seen_index[static_cast<std::size_t>(i)], num_threads());
+    ASSERT_EQ(seen_flag[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST_P(ParallelWithThreads, NestedParallelForInsideKernelIsSerialAndComplete) {
+  // A launch from inside a kernel must execute inline (Kokkos serial
+  // nested policy), not deadlock or hand chunks to other workers.
+  constexpr std::int64_t kOuter = 200;
+  constexpr std::int64_t kInner = 300;
+  std::vector<std::int64_t> row_sums(kOuter, 0);
+  parallel_for(kOuter, [&](std::int64_t i) {
+    EXPECT_TRUE(in_parallel_region());
+    const int outer_index = thread_index();
+    std::int64_t sum = 0;
+    parallel_for(kInner, [&](std::int64_t j) {
+      // Inline execution: the nested kernel runs on the same thread.
+      EXPECT_EQ(thread_index(), outer_index);
+      sum += j;
+    });
+    row_sums[static_cast<std::size_t>(i)] = sum;
+  });
+  for (std::int64_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(row_sums[static_cast<std::size_t>(i)], kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST_P(ParallelWithThreads, NestedScanAndReduceInsideKernel) {
+  constexpr std::int64_t kOuter = 64;
+  std::vector<std::int64_t> totals(kOuter, 0);
+  std::vector<std::int64_t> sums(kOuter, 0);
+  parallel_for(kOuter, [&](std::int64_t i) {
+    std::vector<std::int64_t> data(100, 2);
+    totals[static_cast<std::size_t>(i)] = exclusive_scan(data);
+    sums[static_cast<std::size_t>(i)] = parallel_reduce(
+        50, std::int64_t{0}, [](std::int64_t j) { return j; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    // The scan must have produced the running prefix, not garbage.
+    EXPECT_EQ(data[0], 0);
+    EXPECT_EQ(data[99], 198);
+  });
+  for (std::int64_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(totals[static_cast<std::size_t>(i)], 200);
+    ASSERT_EQ(sums[static_cast<std::size_t>(i)], 49 * 50 / 2);
+  }
+}
+
+TEST_P(ParallelWithThreads, ProfilerCountsLaunchesAndChunks) {
+  PhaseProfiler profiler;
+  KernelPhaseProfile profile;
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::int32_t> out(kN);
+  parallel_for(kN, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = 1;
+  });
+  profiler.lap(&profile);
+  EXPECT_EQ(profile.launches, 1);
+  EXPECT_GE(profile.chunks, 1);
+  EXPECT_GE(profile.workers, 1);
+  EXPECT_LE(profile.workers, num_threads());
+  EXPECT_GE(profile.busy_total, 0.0);
+  EXPECT_GE(profile.busy_max, 0.0);
+  if (profile.workers > 0) {
+    EXPECT_GE(profile.imbalance(), 1.0);
+  }
+
+  // A quiet phase records nothing.
+  KernelPhaseProfile quiet;
+  profiler.lap(&quiet);
+  EXPECT_EQ(quiet.launches, 0);
+  EXPECT_EQ(quiet.chunks, 0);
+  EXPECT_EQ(quiet.imbalance(), 0.0);
+}
+
 TEST_P(ParallelWithThreads, NestedSequentialKernelsKeepOrdering) {
   // Two kernels in sequence: the second must observe all writes of the
   // first (the pool's dispatch acts as a device-wide barrier).
@@ -105,6 +194,58 @@ TEST_P(ParallelWithThreads, NestedSequentialKernelsKeepOrdering) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelWithThreads,
                          ::testing::Values(1, 2, 3, 8));
+
+TEST(Parallel, FloatReduceIsBitIdenticalAcrossThreadCounts) {
+  // The chunking of parallel_reduce is thread-count independent and the
+  // partials merge in chunk order, so a float sum — where association
+  // order changes the rounding — must come out bit-identical at any
+  // worker count.
+  constexpr std::int64_t kN = 123457;
+  auto value = [](std::int64_t i) {
+    // Mix magnitudes so a different summation order would actually
+    // produce different rounding, not accidentally agree.
+    return (i % 7 == 0) ? 1e8f : 1.0f / (static_cast<float>(i) + 1.0f);
+  };
+  auto run = [&] {
+    return parallel_reduce(
+        kN, 0.0f, value, [](float a, float b) { return a + b; });
+  };
+  std::uint32_t reference_bits = 0;
+  {
+    testing::ScopedThreads threads(1);
+    const float sum = run();
+    std::memcpy(&reference_bits, &sum, sizeof(sum));
+  }
+  for (int threads : {2, 8}) {
+    testing::ScopedThreads scoped(threads);
+    const float sum = run();
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &sum, sizeof(sum));
+    EXPECT_EQ(bits, reference_bits) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, DoubleReduceIsBitIdenticalAcrossThreadCounts) {
+  constexpr std::int64_t kN = 99991;
+  auto run = [&] {
+    return parallel_reduce(
+        kN, 0.0, [](std::int64_t i) { return 1.0 / (static_cast<double>(i) + 1.0); },
+        [](double a, double b) { return a + b; });
+  };
+  std::uint64_t reference_bits = 0;
+  {
+    testing::ScopedThreads threads(1);
+    const double sum = run();
+    std::memcpy(&reference_bits, &sum, sizeof(sum));
+  }
+  for (int threads : {2, 8}) {
+    testing::ScopedThreads scoped(threads);
+    const double sum = run();
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &sum, sizeof(sum));
+    EXPECT_EQ(bits, reference_bits) << "threads=" << threads;
+  }
+}
 
 TEST(Parallel, SetNumThreadsTakesEffect) {
   testing::ScopedThreads threads(3);

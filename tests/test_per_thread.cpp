@@ -1,0 +1,121 @@
+#include "exec/per_thread.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "test_utils.h"
+
+namespace fdbscan::exec {
+namespace {
+
+class PerThreadWithThreads : public ::testing::TestWithParam<int> {
+ protected:
+  testing::ScopedThreads threads_{GetParam()};
+};
+
+TEST_P(PerThreadWithThreads, CounterSumsExactlyOnceAcrossKernel) {
+  constexpr std::int64_t kN = 54321;
+  PerThread<std::int64_t> tally;
+  parallel_for(kN, [&](std::int64_t i) { tally.local() += i; });
+  EXPECT_EQ(tally.combine(), kN * (kN - 1) / 2);
+}
+
+TEST_P(PerThreadWithThreads, CombineWithCustomOp) {
+  constexpr std::int64_t kN = 10000;
+  PerThread<std::int64_t> tally;
+  parallel_for(kN, [&](std::int64_t) { ++tally.local(); });
+  const std::int64_t total = tally.combine(
+      std::int64_t{0}, [](std::int64_t acc, std::int64_t s) { return acc + s; });
+  EXPECT_EQ(total, kN);
+}
+
+TEST_P(PerThreadWithThreads, StructsAccumulateViaPlusEquals) {
+  struct Stats {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    Stats& operator+=(const Stats& o) {
+      a += o.a;
+      b += o.b;
+      return *this;
+    }
+  };
+  constexpr std::int64_t kN = 4096;
+  PerThread<Stats> work;
+  parallel_for(kN, [&](std::int64_t i) {
+    auto& s = work.local();
+    ++s.a;
+    s.b += i;
+  });
+  const Stats total = work.combine();
+  EXPECT_EQ(total.a, kN);
+  EXPECT_EQ(total.b, kN * (kN - 1) / 2);
+}
+
+TEST_P(PerThreadWithThreads, VectorSlotsMergeInSlotOrder) {
+  constexpr std::int64_t kN = 2000;
+  PerThread<std::vector<std::int64_t>> sink;
+  parallel_for(kN, [&](std::int64_t i) { sink.local().push_back(i); });
+  std::vector<std::int64_t> merged;
+  for (int k = 0; k < sink.num_slots(); ++k) {
+    const auto& part = sink.slot(k);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(static_cast<std::int64_t>(merged.size()), kN);
+  std::int64_t sum = 0;
+  for (std::int64_t v : merged) sum += v;
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST_P(PerThreadWithThreads, WorksOutsideParallelRegion) {
+  PerThread<std::int64_t> tally;
+  tally.local() += 5;  // dispatching thread owns slot 0
+  EXPECT_EQ(tally.combine(), 5);
+  EXPECT_EQ(tally.slot(0), 5);
+}
+
+TEST_P(PerThreadWithThreads, NestedLaunchAccumulatesIntoOwnerSlot) {
+  // Nested kernels run inline on the launching thread, so a nested
+  // accumulation lands in that thread's slot and nothing is lost.
+  constexpr std::int64_t kOuter = 100;
+  constexpr std::int64_t kInner = 50;
+  PerThread<std::int64_t> tally;
+  parallel_for(kOuter, [&](std::int64_t) {
+    parallel_for(kInner, [&](std::int64_t) { ++tally.local(); });
+  });
+  EXPECT_EQ(tally.combine(), kOuter * kInner);
+}
+
+TEST_P(PerThreadWithThreads, InitialValuePropagatesToEverySlot) {
+  PerThread<std::int64_t> tally(7);
+  EXPECT_EQ(tally.num_slots(), num_threads());
+  for (int k = 0; k < tally.num_slots(); ++k) {
+    EXPECT_EQ(tally.slot(k), 7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PerThreadWithThreads,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(PerThread, SlotsAreCacheLineAligned) {
+  PerThread<std::int64_t> tally;
+  if (tally.num_slots() < 2) {
+    testing::ScopedThreads threads(4);
+    PerThread<std::int64_t> wide;
+    ASSERT_GE(wide.num_slots(), 2);
+    const auto a = reinterpret_cast<std::uintptr_t>(&wide.slot(0));
+    const auto b = reinterpret_cast<std::uintptr_t>(&wide.slot(1));
+    EXPECT_GE(b - a, 64u);
+    EXPECT_EQ(a % 64, 0u);
+    return;
+  }
+  const auto a = reinterpret_cast<std::uintptr_t>(&tally.slot(0));
+  const auto b = reinterpret_cast<std::uintptr_t>(&tally.slot(1));
+  EXPECT_GE(b - a, 64u);
+  EXPECT_EQ(a % 64, 0u);
+}
+
+}  // namespace
+}  // namespace fdbscan::exec

@@ -1,0 +1,76 @@
+// Thread-count invariance: the clustering (and the architecture-neutral
+// work counters) an algorithm produces must not depend on how many
+// workers the runtime happens to have. Cluster *labelings* may differ in
+// the legitimate border-point sense, which equivalent_clusterings
+// tolerates; the counter totals must match exactly because the striped
+// accumulators sum the same per-point work regardless of which thread
+// performed it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "core/validate.h"
+#include "dbscan_test_cases.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::DbscanCase;
+using testing::ScopedThreads;
+
+class ThreadInvariance : public ::testing::TestWithParam<DbscanCase> {};
+
+TEST_P(ThreadInvariance, FdbscanClusteringMatchesSingleThreadRun) {
+  const DbscanCase c = GetParam();
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+
+  Clustering reference;
+  {
+    ScopedThreads threads(1);
+    reference = fdbscan(points, params);
+  }
+  for (int threads : {2, 4, 8}) {
+    ScopedThreads scoped(threads);
+    const Clustering candidate = fdbscan(points, params);
+    const auto check =
+        equivalent_clusterings(points, params, reference, candidate);
+    EXPECT_TRUE(check.ok) << "threads=" << threads << ": " << check.message;
+    EXPECT_EQ(candidate.num_clusters, reference.num_clusters)
+        << "threads=" << threads;
+    EXPECT_EQ(candidate.distance_computations, reference.distance_computations)
+        << "threads=" << threads;
+    EXPECT_EQ(candidate.index_nodes_visited, reference.index_nodes_visited)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ThreadInvariance, DenseboxClusteringMatchesSingleThreadRun) {
+  const DbscanCase c = GetParam();
+  const auto points = make_dataset(c);
+  const Parameters params{c.eps, c.minpts};
+
+  Clustering reference;
+  {
+    ScopedThreads threads(1);
+    reference = fdbscan_densebox(points, params);
+  }
+  for (int threads : {2, 4, 8}) {
+    ScopedThreads scoped(threads);
+    const Clustering candidate = fdbscan_densebox(points, params);
+    const auto check =
+        equivalent_clusterings(points, params, reference, candidate);
+    EXPECT_TRUE(check.ok) << "threads=" << threads << ": " << check.message;
+    EXPECT_EQ(candidate.num_clusters, reference.num_clusters)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardCases, ThreadInvariance,
+                         ::testing::ValuesIn(testing::standard_cases()));
+
+}  // namespace
+}  // namespace fdbscan
