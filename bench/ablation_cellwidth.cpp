@@ -29,6 +29,8 @@ void register_all() {
       char label[32];
       std::snprintf(label, sizeof(label), "width_factor=%.2f", factor);
       register_run("ablation_cellwidth/" + dataset.name + "/" + label,
+                   RunMeta{dataset.name,
+                           std::string("fdbscan-densebox/") + label, n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params, options);
                    });

@@ -25,16 +25,14 @@ template <class Query>
 void run_index_bench(benchmark::State& state,
                      const std::vector<Point2>& points, double build_seconds,
                      Query&& query) {
-  for (auto _ : state) {
-    std::int64_t total_found = 0;
-    exec::parallel_for(
-        static_cast<std::int64_t>(points.size()), [&](std::int64_t i) {
-          exec::atomic_fetch_add(total_found, query(points[static_cast<std::size_t>(i)]));
-        });
-    benchmark::DoNotOptimize(total_found);
-    state.counters["found"] = static_cast<double>(total_found);
-    state.counters["build_ms"] = build_seconds * 1e3;
-  }
+  std::int64_t total_found = 0;
+  exec::parallel_for(
+      static_cast<std::int64_t>(points.size()), [&](std::int64_t i) {
+        exec::atomic_fetch_add(total_found, query(points[static_cast<std::size_t>(i)]));
+      });
+  benchmark::DoNotOptimize(total_found);
+  state.counters["found"] = static_cast<double>(total_found);
+  state.counters["build_ms"] = build_seconds * 1e3;
 }
 
 void register_all() {
@@ -45,9 +43,9 @@ void register_all() {
     const float eps = dataset.minpts_sweep_eps;
     const float eps2 = eps * eps;
 
-    benchmark::RegisterBenchmark(
-        ("ablation_index/bvh/" + dataset.name).c_str(),
-        [=](benchmark::State& state) {
+    register_custom(
+        "ablation_index/bvh/" + dataset.name,
+        RunMeta{dataset.name, "bvh", n}, [=](benchmark::State& state) {
           exec::Timer timer;
           Bvh<2> bvh(*points);
           const double build = timer.seconds();
@@ -59,13 +57,11 @@ void register_all() {
             });
             return found;
           });
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+        });
 
-    benchmark::RegisterBenchmark(
-        ("ablation_index/kdtree/" + dataset.name).c_str(),
-        [=](benchmark::State& state) {
+    register_custom(
+        "ablation_index/kdtree/" + dataset.name,
+        RunMeta{dataset.name, "kdtree", n}, [=](benchmark::State& state) {
           exec::Timer timer;
           KdTree<2> tree(*points);
           const double build = timer.seconds();
@@ -77,13 +73,11 @@ void register_all() {
             });
             return found;
           });
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+        });
 
-    benchmark::RegisterBenchmark(
-        ("ablation_index/grid/" + dataset.name).c_str(),
-        [=](benchmark::State& state) {
+    register_custom(
+        "ablation_index/grid/" + dataset.name,
+        RunMeta{dataset.name, "grid", n}, [=](benchmark::State& state) {
           exec::Timer timer;
           UniformGridIndex<2> grid(*points, eps);
           const double build = timer.seconds();
@@ -95,9 +89,7 @@ void register_all() {
             grid.neighbors(p, out);
             return static_cast<std::int64_t>(out.size());
           });
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+        });
   }
 }
 

@@ -39,6 +39,7 @@ void register_all() {
       options.early_exit = v.early_exit;
       register_run(
           "ablation_traversal/" + dataset.name + "/" + v.name,
+          RunMeta{dataset.name, std::string("fdbscan/") + v.name, n},
           [=](benchmark::State&) {
             return fdbscan::fdbscan(*points, params, options);
           });

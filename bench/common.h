@@ -6,7 +6,9 @@
 // not microbenchmarks. Counters attached to each entry carry the series
 // the paper plots plus the architecture-neutral work counts (DESIGN.md
 // §6 explains why wall-clock alone does not transfer from a V100 to this
-// CPU substrate).
+// CPU substrate). Every entry is also recorded into the telemetry
+// registry (telemetry.h) and lands in BENCH_<bench>.json when the binary
+// exits, so tools/bench_compare.py can gate counter drift across runs.
 //
 // Environment knobs:
 //   FDBSCAN_BENCH_SCALE      multiplies every problem size (default 1).
@@ -16,10 +18,12 @@
 //                            sweep sizes, as they do on the paper's
 //                            16 GB V100 at its much larger scale).
 //   FDBSCAN_NUM_THREADS      worker threads (default: hardware).
+//   FDBSCAN_BENCH_OUT        telemetry output path (telemetry.h).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -27,6 +31,8 @@
 
 #include "core/clustering.h"
 #include "data/generators.h"
+#include "exec/timer.h"
+#include "telemetry.h"
 
 namespace fdbscan::bench {
 
@@ -41,6 +47,24 @@ inline double scale() {
 inline std::int64_t scaled(std::int64_t n) {
   return std::max<std::int64_t>(64, static_cast<std::int64_t>(
                                         static_cast<double>(n) * scale()));
+}
+
+/// Scales a sweep of problem sizes and drops duplicates introduced by the
+/// 64-point floor of scaled(): at small FDBSCAN_BENCH_SCALE several base
+/// sizes clamp to the same effective n, and registering them all would
+/// produce duplicate google-benchmark entry names — ambiguous series in
+/// the telemetry JSON. Order is preserved; first occurrence wins.
+inline std::vector<std::int64_t> scaled_sweep(
+    std::initializer_list<std::int64_t> bases) {
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(bases.size());
+  for (std::int64_t base : bases) {
+    const std::int64_t n = scaled(base);
+    if (std::find(sizes.begin(), sizes.end(), n) == sizes.end()) {
+      sizes.push_back(n);
+    }
+  }
+  return sizes;
 }
 
 inline std::size_t device_memory_bytes() {
@@ -96,18 +120,77 @@ inline void report(benchmark::State& state, const Clustering& result) {
   }
 }
 
+namespace detail {
+
+/// Copies the entry's user counters (in name order — UserCounters is an
+/// ordered map) into a telemetry entry.
+inline void copy_counters(const benchmark::State& state,
+                          TelemetryEntry& entry) {
+  entry.counters.clear();
+  entry.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    entry.counters.emplace_back(name, static_cast<double>(counter.value));
+  }
+}
+
+}  // namespace detail
+
 /// Registers a single-shot benchmark running `fn` (returning a
-/// Clustering) once per entry.
+/// Clustering) once per entry. `meta` names the series (dataset, algo,
+/// problem size) for the telemetry record; phase timings and counters
+/// come from the Clustering itself.
 template <class Fn>
-void register_run(const std::string& name, Fn fn) {
-  benchmark::RegisterBenchmark(name.c_str(),
-                               [fn](benchmark::State& state) {
-                                 for (auto _ : state) {
-                                   Clustering result = fn(state);
-                                   benchmark::DoNotOptimize(result);
-                                   report(state, result);
-                                 }
-                               })
+void register_run(const std::string& name, const RunMeta& meta, Fn fn) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [name, meta, fn](benchmark::State& state) {
+        for (auto _ : state) {
+          exec::Timer timer;
+          Clustering result = fn(state);
+          const double wall_ms = timer.seconds() * 1e3;
+          benchmark::DoNotOptimize(result);
+          report(state, result);
+
+          TelemetryEntry entry;
+          entry.name = name;
+          entry.meta = meta;
+          entry.wall_ms = wall_ms;
+          entry.phase_index_ms = result.timings.index_construction * 1e3;
+          entry.phase_preprocess_ms = result.timings.preprocessing * 1e3;
+          entry.phase_main_ms = result.timings.main * 1e3;
+          entry.phase_finalize_ms = result.timings.finalization * 1e3;
+          detail::copy_counters(state, entry);
+          if (state.error_occurred()) entry.error = "skipped";
+          telemetry::record(std::move(entry));
+        }
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Registers a single-shot benchmark whose body is not a clustering run
+/// (index ablations, memory-ratio entries): `fn(state)` attaches whatever
+/// counters it wants to the state; wall time and those counters are
+/// recorded into the telemetry registry.
+template <class Fn>
+void register_custom(const std::string& name, const RunMeta& meta, Fn fn) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [name, meta, fn](benchmark::State& state) {
+        for (auto _ : state) {
+          exec::Timer timer;
+          fn(state);
+          const double wall_ms = timer.seconds() * 1e3;
+
+          TelemetryEntry entry;
+          entry.name = name;
+          entry.meta = meta;
+          entry.wall_ms = wall_ms;
+          detail::copy_counters(state, entry);
+          if (state.error_occurred()) entry.error = "skipped";
+          telemetry::record(std::move(entry));
+        }
+      })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
 }

@@ -29,18 +29,22 @@ void register_all() {
       std::snprintf(eps_str, sizeof(eps_str), "%g", eps);
       const std::string suffix = dataset.name + "/eps=" + eps_str;
       register_run("fig4_eps/cuda-dclust/" + suffix,
+                   RunMeta{dataset.name, "cuda-dclust", n, false},
                    [=](benchmark::State&) {
                      return baselines::cuda_dclust(*points, params);
                    });
       register_run("fig4_eps/g-dbscan/" + suffix,
+                   RunMeta{dataset.name, "g-dbscan", n},
                    [=](benchmark::State&) {
                      return baselines::gdbscan(*points, params);
                    });
       register_run("fig4_eps/fdbscan/" + suffix,
+                   RunMeta{dataset.name, "fdbscan", n},
                    [=](benchmark::State&) {
                      return fdbscan::fdbscan(*points, params);
                    });
       register_run("fig4_eps/fdbscan-densebox/" + suffix,
+                   RunMeta{dataset.name, "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params);
                    });

@@ -28,25 +28,32 @@ void register_all() {
       const Parameters params{dataset.minpts_sweep_eps, minpts};
       const std::string suffix =
           dataset.name + "/minpts=" + std::to_string(minpts);
+      // CUDA-DClust's chain growth races on CAS absorption: its work
+      // counters are not thread-count invariant (deterministic=false).
       register_run("fig4_minpts/cuda-dclust/" + suffix,
+                   RunMeta{dataset.name, "cuda-dclust", n, false},
                    [=](benchmark::State&) {
                      return baselines::cuda_dclust(*points, params);
                    });
       register_run("fig4_minpts/g-dbscan/" + suffix,
+                   RunMeta{dataset.name, "g-dbscan", n},
                    [=](benchmark::State&) {
                      return baselines::gdbscan(*points, params);
                    });
       register_run("fig4_minpts/fdbscan/" + suffix,
+                   RunMeta{dataset.name, "fdbscan", n},
                    [=](benchmark::State&) {
                      return fdbscan::fdbscan(*points, params);
                    });
       register_run("fig4_minpts/fdbscan-densebox/" + suffix,
+                   RunMeta{dataset.name, "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params);
                    });
       // Extra series beyond the paper's four: the Mr. Scan-style
       // core-first grid algorithm (§2.2).
       register_run("fig4_minpts/mr-scan/" + suffix,
+                   RunMeta{dataset.name, "mr-scan", n},
                    [=](benchmark::State&) {
                      return baselines::mr_scan(*points, params);
                    });

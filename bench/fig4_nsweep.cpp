@@ -31,19 +31,26 @@ bool full_sweep() {
 
 void register_all() {
   const bool full = full_sweep();
+  // G-DBSCAN's O(n^2) cap, in effective (scaled) points.
+  const std::int64_t gdbscan_cap = scaled(32768);
   for (const auto& dataset : kDatasets2D) {
-    for (std::int64_t base_n : {8192, 16384, 32768, 65536, 131072}) {
-      const std::int64_t n = scaled(base_n);
+    // scaled_sweep deduplicates sizes clamped to the 64-point floor so a
+    // tiny FDBSCAN_BENCH_SCALE cannot register duplicate entry names.
+    for (std::int64_t n : scaled_sweep({8192, 16384, 32768, 65536, 131072})) {
       const auto points =
           std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
       const Parameters params{dataset.nsweep_eps, dataset.nsweep_minpts};
       const std::string suffix = dataset.name + "/n=" + std::to_string(n);
+      // CUDA-DClust's chain growth races on CAS absorption: its work
+      // counters are not thread-count invariant (deterministic=false).
       register_run("fig4_nsweep/cuda-dclust/" + suffix,
+                   RunMeta{dataset.name, "cuda-dclust", n, false},
                    [=](benchmark::State&) {
                      return baselines::cuda_dclust(*points, params);
                    });
-      if (base_n <= 32768 || full) {
+      if (n <= gdbscan_cap || full) {
         register_run("fig4_nsweep/g-dbscan/" + suffix,
+                     RunMeta{dataset.name, "g-dbscan", n},
                      [=](benchmark::State& state) -> Clustering {
                        exec::MemoryTracker device(device_memory_bytes());
                        try {
@@ -55,10 +62,12 @@ void register_all() {
                      });
       }
       register_run("fig4_nsweep/fdbscan/" + suffix,
+                   RunMeta{dataset.name, "fdbscan", n},
                    [=](benchmark::State&) {
                      return fdbscan::fdbscan(*points, params);
                    });
       register_run("fig4_nsweep/fdbscan-densebox/" + suffix,
+                   RunMeta{dataset.name, "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params);
                    });

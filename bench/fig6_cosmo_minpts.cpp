@@ -28,10 +28,12 @@ void register_all() {
   for (std::int32_t minpts : {2, 5, 10, 20, 50, 100, 200}) {
     const Parameters params{0.042f, minpts};
     const std::string suffix = "minpts=" + std::to_string(minpts);
-    register_run("fig6_cosmo/fdbscan/" + suffix, [=](benchmark::State&) {
-      return fdbscan::fdbscan(*points, params);
-    });
+    register_run("fig6_cosmo/fdbscan/" + suffix,
+                 RunMeta{"cosmo", "fdbscan", n}, [=](benchmark::State&) {
+                   return fdbscan::fdbscan(*points, params);
+                 });
     register_run("fig6_cosmo/fdbscan-densebox/" + suffix,
+                 RunMeta{"cosmo", "fdbscan-densebox", n},
                  [=](benchmark::State&) {
                    return fdbscan_densebox(*points, params);
                  });

@@ -29,10 +29,12 @@ void register_all() {
       std::snprintf(eps_str, sizeof(eps_str), "%g", eps);
       const std::string suffix =
           "minpts=" + std::to_string(minpts) + "/eps=" + eps_str;
-      register_run("fig7_cosmo/fdbscan/" + suffix, [=](benchmark::State&) {
-        return fdbscan::fdbscan(*points, params);
-      });
+      register_run("fig7_cosmo/fdbscan/" + suffix,
+                   RunMeta{"cosmo", "fdbscan", n}, [=](benchmark::State&) {
+                     return fdbscan::fdbscan(*points, params);
+                   });
       register_run("fig7_cosmo/fdbscan-densebox/" + suffix,
+                   RunMeta{"cosmo", "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params);
                    });
@@ -40,6 +42,7 @@ void register_all() {
         // Extra series: the cell-partitioned Friends-of-Friends
         // precursor (Sewell et al. [36], §2.2) on its home turf.
         register_run("fig7_cosmo/cell-fof/" + suffix,
+                     RunMeta{"cosmo", "cell-fof", n},
                      [=](benchmark::State&) {
                        return baselines::cell_fof(*points, params);
                      });

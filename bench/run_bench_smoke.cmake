@@ -1,0 +1,71 @@
+# Telemetry smoke gate, driven by ctest (see bench/CMakeLists.txt).
+#
+# For each §5 bench: run at FDBSCAN_BENCH_SCALE=0.02 with 1 worker and
+# with 8 workers, validate both BENCH_*.json files against the schema,
+# then diff them with tools/bench_compare.py at a 0% counter budget
+# (--skip-wall: only the deterministic work counters are required to be
+# bit-identical across thread counts).
+#
+# Expects: PYTHON, BENCH_DIR, COMPARE, WORK_DIR.
+
+set(SMOKE_BENCHES
+  fig4_nsweep
+  fig6_cosmo_minpts
+  table_densefrac
+  table_memory
+  table_phases
+  ablation_traversal
+)
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(bench ${SMOKE_BENCHES})
+  if(NOT EXISTS ${BENCH_DIR}/${bench})
+    message(FATAL_ERROR "bench_smoke: missing bench binary ${BENCH_DIR}/${bench}")
+  endif()
+
+  foreach(threads 1 8)
+    set(out ${WORK_DIR}/BENCH_${bench}_t${threads}.json)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env
+        FDBSCAN_BENCH_SCALE=0.02
+        FDBSCAN_NUM_THREADS=${threads}
+        FDBSCAN_BENCH_OUT=${out}
+        FDBSCAN_BENCH_DATE=smoke
+        ${BENCH_DIR}/${bench}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE run_out
+      ERROR_VARIABLE run_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: ${bench} (threads=${threads}) exited ${rc}\n${run_out}\n${run_err}")
+    endif()
+    if(NOT EXISTS ${out})
+      message(FATAL_ERROR
+        "bench_smoke: ${bench} (threads=${threads}) wrote no telemetry file ${out}")
+    endif()
+
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --validate ${out}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE val_out
+      ERROR_VARIABLE val_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: schema validation failed for ${out}\n${val_out}\n${val_err}")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND ${PYTHON} ${COMPARE} --skip-wall
+      ${WORK_DIR}/BENCH_${bench}_t1.json
+      ${WORK_DIR}/BENCH_${bench}_t8.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE cmp_out
+    ERROR_VARIABLE cmp_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench_smoke: 1-vs-8 worker counter drift in ${bench}\n${cmp_out}\n${cmp_err}")
+  endif()
+  message(STATUS "bench_smoke: ${bench} ok\n${cmp_out}")
+endforeach()

@@ -29,6 +29,7 @@ void register_all() {
       const Parameters params{dataset.minpts_sweep_eps, minpts};
       register_run("table_densefrac/2d/" + dataset.name +
                        "/minpts=" + std::to_string(minpts),
+                   RunMeta{dataset.name, "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      return fdbscan_densebox(*points, params);
                    });
@@ -41,12 +42,14 @@ void register_all() {
   for (std::int32_t minpts : {5, 50, 200}) {
     register_run("table_densefrac/cosmo/eps=0.042/minpts=" +
                      std::to_string(minpts),
+                 RunMeta{"cosmo", "fdbscan-densebox", n3},
                  [=](benchmark::State&) {
                    return fdbscan_densebox(*cosmo,
                                            Parameters{0.042f, minpts});
                  });
   }
   register_run("table_densefrac/cosmo/eps=1.0/minpts=5",
+               RunMeta{"cosmo", "fdbscan-densebox", n3},
                [=](benchmark::State&) {
                  return fdbscan_densebox(*cosmo, Parameters{1.0f, 5});
                });

@@ -38,6 +38,7 @@ void register_all() {
       const std::string suffix = dataset.name + "/eps=" + eps_str;
 
       register_run("table_memory/fdbscan/" + suffix,
+                   RunMeta{dataset.name, "fdbscan", n},
                    [=](benchmark::State&) {
                      exec::MemoryTracker tracker;
                      Options options;
@@ -45,6 +46,7 @@ void register_all() {
                      return fdbscan::fdbscan(*points, params, options);
                    });
       register_run("table_memory/fdbscan-densebox/" + suffix,
+                   RunMeta{dataset.name, "fdbscan-densebox", n},
                    [=](benchmark::State&) {
                      exec::MemoryTracker tracker;
                      Options options;
@@ -52,6 +54,7 @@ void register_all() {
                      return fdbscan_densebox(*points, params, options);
                    });
       register_run("table_memory/g-dbscan/" + suffix,
+                   RunMeta{dataset.name, "g-dbscan", n},
                    [=](benchmark::State&) {
                      exec::MemoryTracker tracker;
                      return baselines::gdbscan(*points, params, &tracker);
@@ -60,30 +63,28 @@ void register_all() {
       // materializes neighbor lists, but only one bounded batch at a
       // time.
       register_run("table_memory/hybrid-batched/" + suffix,
+                   RunMeta{dataset.name, "hybrid-batched", n},
                    [=](benchmark::State&) {
                      exec::MemoryTracker tracker;
                      return baselines::hybrid_gowanlock(*points, params, {},
                                                         &tracker);
                    });
 
-      benchmark::RegisterBenchmark(
-          ("table_memory/gdbscan_over_fdbscan/" + suffix).c_str(),
+      register_custom(
+          "table_memory/gdbscan_over_fdbscan/" + suffix,
+          RunMeta{dataset.name, "gdbscan_over_fdbscan", n},
           [=](benchmark::State& state) {
-            for (auto _ : state) {
-              exec::MemoryTracker fd_tracker, g_tracker;
-              Options options;
-              options.memory = &fd_tracker;
-              benchmark::DoNotOptimize(
-                  fdbscan::fdbscan(*points, params, options));
-              benchmark::DoNotOptimize(
-                  baselines::gdbscan(*points, params, &g_tracker));
-              state.counters["memory_ratio"] =
-                  static_cast<double>(g_tracker.peak()) /
-                  static_cast<double>(fd_tracker.peak());
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+            exec::MemoryTracker fd_tracker, g_tracker;
+            Options options;
+            options.memory = &fd_tracker;
+            benchmark::DoNotOptimize(
+                fdbscan::fdbscan(*points, params, options));
+            benchmark::DoNotOptimize(
+                baselines::gdbscan(*points, params, &g_tracker));
+            state.counters["memory_ratio"] =
+                static_cast<double>(g_tracker.peak()) /
+                static_cast<double>(fd_tracker.peak());
+          });
     }
   }
 }

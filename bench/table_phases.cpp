@@ -39,33 +39,28 @@ void report_phases(benchmark::State& state, const Clustering& result) {
   kernel_counters("main", result.timings.main_profile);
 }
 
-template <class Fn>
-void register_phase_run(const std::string& name, Fn fn) {
-  benchmark::RegisterBenchmark(name.c_str(),
-                               [fn](benchmark::State& state) {
-                                 for (auto _ : state) {
-                                   const Clustering result = fn();
-                                   benchmark::DoNotOptimize(result);
-                                   report(state, result);
-                                   report_phases(state, result);
-                                 }
-                               })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
-}
-
 void register_all() {
   const std::int64_t n = scaled(16384);
   for (const auto& dataset : kDatasets2D) {
     const auto points =
         std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
     const Parameters params{dataset.minpts_sweep_eps, 128};
-    register_phase_run("table_phases/fdbscan/" + dataset.name, [=] {
-      return fdbscan::fdbscan(*points, params);
-    });
-    register_phase_run("table_phases/fdbscan-densebox/" + dataset.name, [=] {
-      return fdbscan_densebox(*points, params);
-    });
+    // The phase counters are attached inside fn, before register_run's
+    // standard report — they ride into the telemetry JSON with the rest.
+    register_run("table_phases/fdbscan/" + dataset.name,
+                 RunMeta{dataset.name, "fdbscan", n},
+                 [=](benchmark::State& state) {
+                   Clustering result = fdbscan::fdbscan(*points, params);
+                   report_phases(state, result);
+                   return result;
+                 });
+    register_run("table_phases/fdbscan-densebox/" + dataset.name,
+                 RunMeta{dataset.name, "fdbscan-densebox", n},
+                 [=](benchmark::State& state) {
+                   Clustering result = fdbscan_densebox(*points, params);
+                   report_phases(state, result);
+                   return result;
+                 });
   }
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <numeric>
@@ -115,9 +116,12 @@ class Bvh {
                      TraversalStats* stats = nullptr) const {
     if (n_ == 0) return;
     if (n_ == 1) {
+      // Masked leaves are not tested and must not be counted — the n>1
+      // path skips them before touching stats, and dist_comps parity
+      // across the two paths depends on doing the same here.
+      if (min_sorted_pos > 0) return;
       if (stats) ++stats->leaves_tested;
-      if (min_sorted_pos <= 0 &&
-          squared_distance(p, leaf_bounds_[0]) <= eps_squared) {
+      if (squared_distance(p, leaf_bounds_[0]) <= eps_squared) {
         cb(std::int32_t{0}, sorted_ids_[0]);
       }
       return;
@@ -281,14 +285,16 @@ class Bvh {
   // Prefix-delta of Karras's construction: length of the common prefix of
   // the keys at sorted positions i and j, with the position itself
   // appended as a tiebreak so duplicate codes still yield distinct keys.
-  // Returns -1 when j is out of range.
+  // Returns -1 when j is out of range. std::countl_zero is defined for a
+  // zero argument (unlike __builtin_clz*), so i == j is well-defined
+  // should a future caller pass it, and non-GNU compilers are fine.
   [[nodiscard]] int delta(std::int32_t i, std::int32_t j) const noexcept {
     if (j < 0 || j >= n_) return -1;
     const std::uint64_t a = codes_[static_cast<std::size_t>(i)];
     const std::uint64_t b = codes_[static_cast<std::size_t>(j)];
-    if (a != b) return __builtin_clzll(a ^ b);
-    return 64 + __builtin_clz(static_cast<std::uint32_t>(i) ^
-                              static_cast<std::uint32_t>(j));
+    if (a != b) return std::countl_zero(a ^ b);
+    return 64 + std::countl_zero(static_cast<std::uint32_t>(i) ^
+                                 static_cast<std::uint32_t>(j));
   }
 
   void build(const std::vector<Box<DIM>>& boxes) {

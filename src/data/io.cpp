@@ -25,6 +25,45 @@ void write_csv_impl(const std::string& path,
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+[[noreturn]] void malformed(const std::string& path, std::size_t lineno,
+                            const std::string& what) {
+  throw std::runtime_error(path + ": " + what + " at line " +
+                           std::to_string(lineno));
+}
+
+/// Parses the coordinate columns of one row into `p` and returns the
+/// stream positioned after them. Throws when a coordinate is not numeric.
+template <int DIM>
+std::istringstream row_stream(std::string line, const std::string& path,
+                              std::size_t lineno, Point<DIM>& p) {
+  for (char& c : line) {
+    if (c == ',' || c == ';' || c == '\t') c = ' ';
+  }
+  std::istringstream row(std::move(line));
+  for (int d = 0; d < DIM; ++d) {
+    if (!(row >> p[d])) {
+      malformed(path, lineno,
+                "malformed row (expected " + std::to_string(DIM) +
+                    " numeric columns)");
+    }
+  }
+  return row;
+}
+
+/// Rejects rows with columns beyond the ones already consumed: a labeled
+/// CSV re-read as plain points, or trailing garbage ("1,2,abc"), must
+/// fail loudly instead of silently parsing as a valid point.
+void require_row_end(std::istringstream& row, const std::string& path,
+                     std::size_t lineno, int expected_columns) {
+  std::string extra;
+  if (row >> extra) {
+    malformed(path, lineno,
+              "extra column(s) starting with '" + extra + "' (expected " +
+                  std::to_string(expected_columns) +
+                  " columns; use read_labeled_csv for labeled files)");
+  }
+}
+
 template <int DIM>
 std::vector<Point<DIM>> read_csv_impl(const std::string& path) {
   std::ifstream in(path);
@@ -35,20 +74,35 @@ std::vector<Point<DIM>> read_csv_impl(const std::string& path) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    for (char& c : line) {
-      if (c == ',' || c == ';' || c == '\t') c = ' ';
-    }
-    std::istringstream row(line);
     Point<DIM> p;
-    for (int d = 0; d < DIM; ++d) {
-      if (!(row >> p[d])) {
-        throw std::runtime_error(path + ": malformed row at line " +
-                                 std::to_string(lineno));
-      }
-    }
+    auto row = row_stream<DIM>(std::move(line), path, lineno, p);
+    require_row_end(row, path, lineno, DIM);
     points.push_back(p);
   }
   return points;
+}
+
+template <int DIM, class Labeled>
+Labeled read_labeled_csv_impl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  Labeled result;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    Point<DIM> p;
+    auto row = row_stream<DIM>(std::move(line), path, lineno, p);
+    std::int32_t label;
+    if (!(row >> label)) {
+      malformed(path, lineno, "missing or non-integer label column");
+    }
+    require_row_end(row, path, lineno, DIM + 1);
+    result.points.push_back(p);
+    result.labels.push_back(label);
+  }
+  return result;
 }
 
 }  // namespace
@@ -74,6 +128,12 @@ std::vector<Point2> read_csv2(const std::string& path) {
 }
 std::vector<Point3> read_csv3(const std::string& path) {
   return read_csv_impl<3>(path);
+}
+LabeledPoints2 read_labeled_csv2(const std::string& path) {
+  return read_labeled_csv_impl<2, LabeledPoints2>(path);
+}
+LabeledPoints3 read_labeled_csv3(const std::string& path) {
+  return read_labeled_csv_impl<3, LabeledPoints3>(path);
 }
 
 }  // namespace fdbscan::data

@@ -23,10 +23,29 @@ void write_labeled_csv(const std::string& path,
                        const std::vector<Point3>& points,
                        const std::vector<std::int32_t>& labels);
 
-/// Reads comma/space-separated points, taking the first DIM columns of
-/// every non-empty, non-comment ('#') line. Throws std::runtime_error on
-/// open failure or malformed rows.
+/// Reads comma/semicolon/tab/space-separated points. Every non-empty,
+/// non-comment ('#') line must hold exactly DIM numeric columns; rows
+/// with trailing garbage or a different column count (e.g. a labeled CSV
+/// re-read as plain points) throw std::runtime_error naming the
+/// offending line. Use read_labeled_csv* for files written by
+/// write_labeled_csv.
 std::vector<Point2> read_csv2(const std::string& path);
 std::vector<Point3> read_csv3(const std::string& path);
+
+/// Points plus the label column of a write_labeled_csv file.
+struct LabeledPoints2 {
+  std::vector<Point2> points;
+  std::vector<std::int32_t> labels;
+};
+struct LabeledPoints3 {
+  std::vector<Point3> points;
+  std::vector<std::int32_t> labels;
+};
+
+/// Reads a labeled CSV (DIM coordinates + exactly one integer label per
+/// row); the strict-column counterpart of read_csv* for labeled files.
+/// Throws std::runtime_error on open failure or malformed rows.
+LabeledPoints2 read_labeled_csv2(const std::string& path);
+LabeledPoints3 read_labeled_csv3(const std::string& path);
 
 }  // namespace fdbscan::data

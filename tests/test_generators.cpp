@@ -178,5 +178,76 @@ TEST(Io, ThrowsOnMalformedRow) {
   std::filesystem::remove(path);
 }
 
+TEST(Io, RejectsTrailingGarbageNamingTheLine) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_trailing.csv").string();
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n1,2,abc\n";
+  }
+  try {
+    read_csv2(path);
+    FAIL() << "trailing garbage parsed as a valid point";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, RejectsExtraColumns) {
+  // A labeled CSV re-read as plain points must fail, not silently parse
+  // the first DIM columns.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_extracol.csv").string();
+  std::vector<Point2> pts{{{1.0f, 2.0f}}, {{3.0f, 4.0f}}};
+  std::vector<std::int32_t> labels{0, -1};
+  write_labeled_csv(path, pts, labels);
+  EXPECT_THROW(read_csv2(path), std::runtime_error);
+  // 3-D points re-read as 2-D: also an extra column.
+  std::filesystem::remove(path);
+  write_csv(path, std::vector<Point3>{{{1.0f, 2.0f, 3.0f}}});
+  EXPECT_THROW(read_csv2(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, RejectsMissingColumns) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_short.csv").string();
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0,3.0\n4.0,5.0\n";
+  }
+  EXPECT_THROW(read_csv3(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LabeledCsvRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_labeled_rt.csv").string();
+  std::vector<Point2> pts{{{1.5f, -2.0f}}, {{0.0f, 4.25f}}, {{3.0f, 3.0f}}};
+  std::vector<std::int32_t> labels{1, -1, 0};
+  write_labeled_csv(path, pts, labels);
+  const auto back = read_labeled_csv2(path);
+  ASSERT_EQ(back.points.size(), pts.size());
+  EXPECT_EQ(back.labels, labels);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_FLOAT_EQ(back.points[i][0], pts[i][0]);
+    EXPECT_FLOAT_EQ(back.points[i][1], pts[i][1]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LabeledReaderRejectsUnlabeledRows) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fdbscan_test_unlabeled.csv").string();
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0,0\n3.0,4.0\n";
+  }
+  EXPECT_THROW(read_labeled_csv2(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace fdbscan::data

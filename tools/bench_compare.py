@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json telemetry files and gate perf regressions.
+
+The bench binaries (see bench/telemetry.h) emit one JSON file per run
+with the series the paper's evaluation plots: wall-clock plus the
+architecture-neutral work counters. The work counters of the tree
+algorithms are bit-exact across thread counts (PR "exec runtime
+overhaul"), so they are gated at a 0% budget by default — any drift in
+dist_comps / nodes_visited / clusters / noise on a matched entry is a
+real algorithmic change, not noise. Wall-clock is gated loosely (+20%
+by default) and only above a floor, because this CPU substrate is noisy
+at small problem sizes; pass --skip-wall to compare work only (the
+bench_smoke ctest does, since it diffs runs at different thread counts).
+
+Usage:
+  bench_compare.py [options] OLD.json NEW.json     compare two runs
+  bench_compare.py --validate FILE [FILE...]       schema-check files
+
+Exit codes: 0 ok, 1 regression/drift found, 2 usage or schema error.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA_ID = "fdbscan-bench-telemetry-v1"
+
+# Counters that must be bit-exact across runs of the same configuration
+# (when the entry is marked deterministic).
+GATED_COUNTERS = ("dist_comps", "nodes_visited", "clusters", "noise")
+
+PHASE_KEYS = ("index", "preprocess", "main", "finalize")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _expect(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def validate(doc, path="<doc>"):
+    """Validates a telemetry document; raises SchemaError on violation."""
+    _expect(isinstance(doc, dict), f"{path}: top level is not an object")
+    _expect(doc.get("schema") == SCHEMA_ID,
+            f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA_ID!r}")
+
+    run = doc.get("run")
+    _expect(isinstance(run, dict), f"{path}: missing run object")
+    _expect(isinstance(run.get("date_env"), str), f"{path}: run.date_env missing")
+    _expect(isinstance(run.get("threads"), int) and run["threads"] > 0,
+            f"{path}: run.threads must be a positive integer")
+    _expect(isinstance(run.get("scale"), (int, float)) and run["scale"] > 0,
+            f"{path}: run.scale must be positive")
+
+    entries = doc.get("entries")
+    _expect(isinstance(entries, list) and entries,
+            f"{path}: entries must be a non-empty array")
+    seen = set()
+    for i, e in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        _expect(isinstance(e, dict), f"{where} is not an object")
+        name = e.get("name")
+        _expect(isinstance(name, str) and name, f"{where}: missing name")
+        _expect(name not in seen,
+                f"{where}: duplicate entry name {name!r} — per-entry series "
+                "would be ambiguous (is a sweep collapsing onto the 64-point "
+                "floor without deduplication?)")
+        seen.add(name)
+        for key in ("dataset", "algo"):
+            _expect(isinstance(e.get(key), str), f"{where}: missing {key}")
+        _expect(isinstance(e.get("n"), int) and e["n"] >= 0,
+                f"{where}: n must be a non-negative integer")
+        _expect(isinstance(e.get("deterministic"), bool),
+                f"{where}: missing deterministic flag")
+        _expect(isinstance(e.get("wall_ms"), (int, float)) and e["wall_ms"] >= 0,
+                f"{where}: wall_ms must be a non-negative number")
+        counters = e.get("counters")
+        _expect(isinstance(counters, dict), f"{where}: missing counters object")
+        for cname, cval in counters.items():
+            _expect(isinstance(cval, (int, float)),
+                    f"{where}: counter {cname!r} is not a number")
+        phases = e.get("phase_ms")
+        _expect(isinstance(phases, dict), f"{where}: missing phase_ms object")
+        for key in PHASE_KEYS:
+            _expect(isinstance(phases.get(key), (int, float)),
+                    f"{where}: phase_ms.{key} missing")
+        if "error" in e:
+            _expect(isinstance(e["error"], str), f"{where}: error must be a string")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise SchemaError(f"{path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: invalid JSON: {exc}") from exc
+    validate(doc, path)
+    return doc
+
+
+def compare(old, new, args):
+    """Returns a list of violation strings."""
+    old_entries = {e["name"]: e for e in old["entries"]}
+    new_entries = {e["name"]: e for e in new["entries"]}
+    exclude = re.compile(args.exclude) if args.exclude else None
+
+    matched = 0
+    violations = []
+    notes = []
+    for name, o in old_entries.items():
+        if exclude and exclude.search(name):
+            continue
+        n = new_entries.get(name)
+        if n is None:
+            notes.append(f"unmatched (gone in new): {name}")
+            continue
+        if o.get("error") or n.get("error"):
+            notes.append(f"skipped (errored run): {name}")
+            continue
+        matched += 1
+
+        if o["deterministic"] and n["deterministic"]:
+            for counter in GATED_COUNTERS:
+                if counter not in o["counters"] or counter not in n["counters"]:
+                    continue
+                ov, nv = o["counters"][counter], n["counters"][counter]
+                budget = max(abs(ov), 1.0) * args.counter_budget_pct / 100.0
+                if abs(nv - ov) > budget:
+                    violations.append(
+                        f"{name}: {counter} drifted {ov:g} -> {nv:g} "
+                        f"(budget {args.counter_budget_pct:g}%)")
+
+        if not args.skip_wall and o["wall_ms"] >= args.wall_min_ms:
+            limit = o["wall_ms"] * (1.0 + args.wall_budget_pct / 100.0)
+            if n["wall_ms"] > limit:
+                violations.append(
+                    f"{name}: wall_ms regressed {o['wall_ms']:.3f} -> "
+                    f"{n['wall_ms']:.3f} (budget +{args.wall_budget_pct:g}%)")
+
+    for name in new_entries:
+        if name not in old_entries and not (exclude and exclude.search(name)):
+            notes.append(f"unmatched (new entry): {name}")
+
+    for note in notes:
+        print(f"note: {note}")
+    if matched == 0:
+        violations.append("no comparable entries matched between the two runs")
+    else:
+        print(f"compared {matched} matched entries "
+              f"(counter budget {args.counter_budget_pct:g}%, "
+              + ("wall skipped" if args.skip_wall
+                 else f"wall budget +{args.wall_budget_pct:g}% "
+                      f"above {args.wall_min_ms:g} ms") + ")")
+    return violations
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="OLD NEW for comparison, or files for --validate")
+    parser.add_argument("--validate", action="store_true",
+                        help="only schema-check the given files")
+    parser.add_argument("--counter-budget-pct", type=float, default=0.0,
+                        help="allowed relative drift for the deterministic "
+                             "counters (default 0: bit-exact)")
+    parser.add_argument("--wall-budget-pct", type=float, default=20.0,
+                        help="allowed wall-clock regression (default 20)")
+    parser.add_argument("--wall-min-ms", type=float, default=50.0,
+                        help="ignore wall-clock of entries faster than this "
+                             "in the old run (default 50 ms: sub-threshold "
+                             "entries are dominated by scheduler noise)")
+    parser.add_argument("--skip-wall", action="store_true",
+                        help="compare work counters only (use when the runs "
+                             "differ in thread count or machine)")
+    parser.add_argument("--exclude", metavar="REGEX",
+                        help="skip entries whose name matches this regex")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.validate:
+            for path in args.files:
+                load(path)
+                print(f"ok: {path}")
+            return 0
+        if len(args.files) != 2:
+            parser.error("comparison needs exactly two files: OLD NEW")
+        old, new = (load(p) for p in args.files)
+    except SchemaError as exc:
+        print(f"schema error: {exc}", file=sys.stderr)
+        return 2
+
+    violations = compare(old, new, args)
+    for v in violations:
+        print(f"FAIL: {v}", file=sys.stderr)
+    if violations:
+        return 1
+    print("ok: no counter drift" + ("" if args.skip_wall
+                                    else ", no wall-clock regression"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
