@@ -111,11 +111,15 @@ inline void report(benchmark::State& state, const Clustering& result) {
         static_cast<double>(result.labels.size());
   }
   // Kernel-launch profile of the main phase (populated by algorithms
-  // that time phases through exec::PhaseProfiler).
+  // that time phases through exec::PhaseProfiler). main_workers must be
+  // read together with main_imbalance: a single-thread phase reports
+  // imbalance 1.0 (one thread matches the mean of one), so workers is
+  // what exposes the degenerate case (DESIGN.md §7).
   const auto& main = result.timings.main_profile;
   if (main.launches > 0) {
     state.counters["main_launches"] = static_cast<double>(main.launches);
     state.counters["main_chunks"] = static_cast<double>(main.chunks);
+    state.counters["main_workers"] = static_cast<double>(main.workers);
     state.counters["main_imbalance"] = main.imbalance();
   }
 }
@@ -145,8 +149,20 @@ void register_run(const std::string& name, const RunMeta& meta, Fn fn) {
       name.c_str(),
       [name, meta, fn](benchmark::State& state) {
         for (auto _ : state) {
+          const bool tracing = exec::trace_enabled();
+          const exec::TraceCursor cursor =
+              tracing ? exec::trace_cursor() : exec::TraceCursor{};
           exec::Timer timer;
-          Clustering result = fn(state);
+          Clustering result;
+          {
+            // Entry span: the run's kernel slices nest under it in the
+            // emitted trace. Interned once per entry name, off the hot
+            // path.
+            exec::TraceSpan span(
+                tracing ? exec::trace_intern(name) : nullptr, "entry");
+            result = fn(state);
+            if (!tracing) span.close();
+          }
           const double wall_ms = timer.seconds() * 1e3;
           benchmark::DoNotOptimize(result);
           report(state, result);
@@ -159,6 +175,9 @@ void register_run(const std::string& name, const RunMeta& meta, Fn fn) {
           entry.phase_preprocess_ms = result.timings.preprocessing * 1e3;
           entry.phase_main_ms = result.timings.main * 1e3;
           entry.phase_finalize_ms = result.timings.finalization * 1e3;
+          entry.peak_bytes =
+              static_cast<std::int64_t>(result.peak_memory_bytes);
+          if (tracing) entry.kernels = exec::trace_kernel_aggregates(cursor);
           detail::copy_counters(state, entry);
           if (state.error_occurred()) entry.error = "skipped";
           telemetry::record(std::move(entry));
@@ -178,14 +197,23 @@ void register_custom(const std::string& name, const RunMeta& meta, Fn fn) {
       name.c_str(),
       [name, meta, fn](benchmark::State& state) {
         for (auto _ : state) {
+          const bool tracing = exec::trace_enabled();
+          const exec::TraceCursor cursor =
+              tracing ? exec::trace_cursor() : exec::TraceCursor{};
           exec::Timer timer;
-          fn(state);
+          {
+            exec::TraceSpan span(
+                tracing ? exec::trace_intern(name) : nullptr, "entry");
+            fn(state);
+            if (!tracing) span.close();
+          }
           const double wall_ms = timer.seconds() * 1e3;
 
           TelemetryEntry entry;
           entry.name = name;
           entry.meta = meta;
           entry.wall_ms = wall_ms;
+          if (tracing) entry.kernels = exec::trace_kernel_aggregates(cursor);
           detail::copy_counters(state, entry);
           if (state.error_occurred()) entry.error = "skipped";
           telemetry::record(std::move(entry));

@@ -6,7 +6,15 @@
 # (--skip-wall: only the deterministic work counters are required to be
 # bit-identical across thread counts).
 #
-# Expects: PYTHON, BENCH_DIR, COMPARE, WORK_DIR.
+# Then run fig4_nsweep once more with FDBSCAN_TRACE on: the emitted
+# Chrome trace must pass tools/trace_summary.py --validate (balanced
+# name-matched B/E pairs, monotone per-track timestamps), the summary
+# must render, the traced telemetry must carry per-kernel aggregates,
+# and the traced run's summed wall time must stay within 5% (+ absolute
+# slack) of the untraced 8-worker run — the tracing overhead budget of
+# DESIGN.md §8.
+#
+# Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, WORK_DIR.
 
 set(SMOKE_BENCHES
   fig4_nsweep
@@ -69,3 +77,79 @@ foreach(bench ${SMOKE_BENCHES})
   endif()
   message(STATUS "bench_smoke: ${bench} ok\n${cmp_out}")
 endforeach()
+
+# --- Traced run: trace validity + telemetry aggregates + overhead gate ---
+
+set(trace_bench fig4_nsweep)
+set(trace_json ${WORK_DIR}/smoke_trace.json)
+set(traced_telemetry ${WORK_DIR}/BENCH_${trace_bench}_traced.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    FDBSCAN_BENCH_SCALE=0.02
+    FDBSCAN_NUM_THREADS=8
+    FDBSCAN_BENCH_OUT=${traced_telemetry}
+    FDBSCAN_BENCH_DATE=smoke
+    FDBSCAN_TRACE=${trace_json}
+    ${BENCH_DIR}/${trace_bench}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: traced ${trace_bench} exited ${rc}\n${run_out}\n${run_err}")
+endif()
+if(NOT EXISTS ${trace_json})
+  message(FATAL_ERROR
+    "bench_smoke: traced run wrote no trace file ${trace_json}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SUMMARY} --validate ${trace_json}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE val_out
+  ERROR_VARIABLE val_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: trace schema validation failed for ${trace_json}\n${val_out}\n${val_err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SUMMARY} --top 5 ${trace_json}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE sum_out
+  ERROR_VARIABLE sum_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: trace summary failed for ${trace_json}\n${sum_out}\n${sum_err}")
+endif()
+message(STATUS "bench_smoke: trace summary\n${sum_out}")
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} --validate ${traced_telemetry}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE val_out
+  ERROR_VARIABLE val_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: schema validation failed for ${traced_telemetry}\n${val_out}\n${val_err}")
+endif()
+file(READ ${traced_telemetry} traced_doc)
+if(NOT traced_doc MATCHES "\"kernels\":")
+  message(FATAL_ERROR
+    "bench_smoke: traced telemetry ${traced_telemetry} carries no per-kernel aggregates")
+endif()
+
+# Tracing-overhead gate: counters must stay bit-exact and the summed wall
+# time within the §8 budget of the untraced 8-worker run.
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} --skip-wall --wall-sum-budget-pct 5
+    ${WORK_DIR}/BENCH_${trace_bench}_t8.json
+    ${traced_telemetry}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE cmp_out
+  ERROR_VARIABLE cmp_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: tracing overhead gate failed for ${trace_bench}\n${cmp_out}\n${cmp_err}")
+endif()
+message(STATUS "bench_smoke: traced ${trace_bench} ok\n${cmp_out}")

@@ -158,7 +158,31 @@ std::string write_json() {
     append_number(out, e.phase_main_ms);
     out += ", \"finalize\": ";
     append_number(out, e.phase_finalize_ms);
-    out += "}";
+    out += "}, \"peak_bytes\": ";
+    append_number(out, static_cast<double>(e.peak_bytes));
+    if (!e.kernels.empty()) {
+      out += ",\n     \"kernels\": [";
+      for (std::size_t k = 0; k < e.kernels.size(); ++k) {
+        const exec::KernelAggregate& a = e.kernels[k];
+        out += (k == 0) ? "\n      " : ",\n      ";
+        out += "{\"name\": ";
+        append_escaped(out, a.name);
+        out += ", \"count\": ";
+        append_number(out, static_cast<double>(a.count));
+        out += ", \"chunks\": ";
+        append_number(out, static_cast<double>(a.chunks));
+        out += ", \"total_ms\": ";
+        append_number(out, a.total_ms);
+        out += ", \"max_ms\": ";
+        append_number(out, a.max_ms);
+        out += ", \"workers\": ";
+        append_number(out, static_cast<double>(a.workers));
+        out += ", \"imbalance\": ";
+        append_number(out, a.imbalance);
+        out += "}";
+      }
+      out += "]";
+    }
     if (!e.error.empty()) {
       out += ", \"error\": ";
       append_escaped(out, e.error);

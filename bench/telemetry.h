@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/trace.h"
+
 namespace fdbscan::bench {
 
 /// What a benchmark entry measured: which dataset, which algorithm, at
@@ -60,6 +62,15 @@ struct TelemetryEntry {
   double phase_preprocess_ms = 0.0;
   double phase_main_ms = 0.0;
   double phase_finalize_ms = 0.0;
+  /// Peak auxiliary ("device") bytes charged to the run's MemoryTracker
+  /// (0 when the entry ran without one) — first-class, so bench_compare
+  /// and trace_summary read the same number table_memory derives ratios
+  /// from.
+  std::int64_t peak_bytes = 0;
+  /// Per-kernel aggregates of the entry's launches (populated only when
+  /// FDBSCAN_TRACE is active; empty otherwise). Serialized as the
+  /// optional "kernels" array.
+  std::vector<exec::KernelAggregate> kernels;
   /// Nonempty when the run was skipped (e.g. simulated device OOM); such
   /// entries carry no comparable measurements.
   std::string error;

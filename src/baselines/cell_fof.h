@@ -36,14 +36,15 @@ template <int DIM>
   exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("cell-fof/index", &timings.index_construction_profile);
 
   std::vector<std::int32_t> labels(points.size());
   init_singletons(labels);
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
   std::vector<std::uint8_t> is_core(points.size(), 0);
   exec::PerThread<std::int64_t> distance_tally;
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("cell-fof/main/scan-union", n, [&](std::int64_t i) {
     const auto x = static_cast<std::int32_t>(i);
     std::vector<std::int32_t> neighbors;
     const std::int64_t tested =
@@ -59,12 +60,13 @@ template <int DIM>
     }
     distance_tally.local() += tested;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("cell-fof/main", &timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("cell-fof/finalize", &timings.finalization_profile);
   result.timings = timings;
   result.distance_computations = distance_tally.combine();
   return result;

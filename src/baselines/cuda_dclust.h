@@ -39,7 +39,8 @@ template <int DIM>
   exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("cuda-dclust/index", &timings.index_construction_profile);
 
   // chain_of[p]: chain id once p is absorbed, -1 before. Chains never
   // change after assignment; collisions are resolved at the end.
@@ -68,6 +69,7 @@ template <int DIM>
 
     // Grow all chains of this round concurrently.
     exec::parallel_for(
+        "cuda-dclust/main/grow-chains",
         static_cast<std::int64_t>(seeds.size()), [&](std::int64_t s) {
           const std::int32_t chain = first_chain + static_cast<std::int32_t>(s);
           const std::int32_t seed = seeds[static_cast<std::size_t>(s)];
@@ -116,7 +118,7 @@ template <int DIM>
     const auto& part = collision_tally.slot(k);
     collisions.insert(collisions.end(), part.begin(), part.end());
   }
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("cuda-dclust/main", &timings.main_profile);
 
   // --- Collision resolution (the original's CPU stage) --------------------
   // Chains colliding through a *core* point are density-connected and

@@ -30,13 +30,14 @@ template <int DIM>
   exec::PhaseProfiler timer;
   KdTree<DIM> tree(points);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("dsdbscan/index", &timings.index_construction_profile);
 
   // Phase 1: core points (full neighborhood count — Algorithm 2 computes
   // |N| per point; no early exit, that refinement belongs to FDBSCAN).
   exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("dsdbscan/pre/neighbor-count", n, [&](std::int64_t i) {
     const auto& p = points[static_cast<std::size_t>(i)];
     std::int32_t count = 0;
     std::int64_t tested = 0;
@@ -50,13 +51,14 @@ template <int DIM>
     if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
     distance_tally.local() += tested;
   });
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("dsdbscan/pre", &timings.preprocessing_profile);
 
   // Phase 2: each core point unions with its neighbors.
   std::vector<std::int32_t> labels(points.size());
   init_singletons(labels);
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("dsdbscan/main/union", n, [&](std::int64_t i) {
     const auto x = static_cast<std::int32_t>(i);
     if (is_core[static_cast<std::size_t>(x)] == 0) return;
     const auto& p = points[static_cast<std::size_t>(x)];
@@ -70,12 +72,13 @@ template <int DIM>
         &tested);
     distance_tally.local() += tested;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("dsdbscan/main", &timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("dsdbscan/finalize", &timings.finalization_profile);
   result.timings = timings;
   result.distance_computations = distance_tally.combine();
   return result;

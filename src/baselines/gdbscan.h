@@ -14,7 +14,7 @@
 #include "core/clustering.h"
 #include "exec/atomic.h"
 #include "exec/parallel.h"
-#include "exec/timer.h"
+#include "exec/profile.h"
 #include "geometry/point.h"
 
 namespace fdbscan::baselines {
@@ -28,13 +28,13 @@ template <int DIM>
   const float eps2 = params.eps * params.eps;
   if (n == 0) return {};
 
-  exec::Timer timer;
+  exec::PhaseProfiler timer;
   PhaseTimings timings;
 
   // --- Graph construction (vertices kernel): degree of every vertex ------
   std::vector<std::int32_t> degree(points.size(), 0);
   exec::ScopedCharge degree_charge(memory, points.size() * sizeof(std::int32_t) * 2);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("gdbscan/build/degree", n, [&](std::int64_t i) {
     const auto& p = points[static_cast<std::size_t>(i)];
     std::int32_t d = 0;
     for (std::int64_t j = 0; j < n; ++j) {
@@ -46,18 +46,19 @@ template <int DIM>
 
   // Core points: |N_eps(x)| >= minpts with x in N, i.e. degree+1.
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("gdbscan/build/core-flags", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     is_core[ui] = (degree[ui] + 1 >= params.minpts) ? 1 : 0;
   });
 
   // --- Graph construction (edges kernel): CSR adjacency -------------------
   std::vector<std::int64_t> offsets(points.size() + 1, 0);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("gdbscan/build/degree-copy", n, [&](std::int64_t i) {
     offsets[static_cast<std::size_t>(i)] = degree[static_cast<std::size_t>(i)];
   });
   const std::int64_t num_edges =
-      exec::exclusive_scan(offsets.data(), static_cast<std::int64_t>(n));
+      exec::exclusive_scan("gdbscan/build/edge-offsets", offsets.data(),
+                           static_cast<std::int64_t>(n));
   offsets[points.size()] = num_edges;
   // This is the allocation that kills G-DBSCAN on dense data: the full
   // edge list. The charge throws OutOfDeviceMemory when over budget.
@@ -65,7 +66,7 @@ template <int DIM>
       memory, static_cast<std::size_t>(num_edges) * sizeof(std::int32_t) +
                   offsets.size() * sizeof(std::int64_t));
   std::vector<std::int32_t> adjacency(static_cast<std::size_t>(num_edges));
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("gdbscan/build/edge-fill", n, [&](std::int64_t i) {
     const auto& p = points[static_cast<std::size_t>(i)];
     std::int64_t cursor = offsets[static_cast<std::size_t>(i)];
     for (std::int64_t j = 0; j < n; ++j) {
@@ -75,7 +76,8 @@ template <int DIM>
       }
     }
   });
-  timings.index_construction = timer.lap();
+  timings.index_construction =
+      timer.lap("gdbscan/build", &timings.index_construction_profile);
 
   // --- Clustering: level-synchronous BFS from each unvisited core --------
   Clustering result;
@@ -94,6 +96,7 @@ template <int DIM>
       next_frontier.clear();
       std::mutex frontier_mutex;
       exec::parallel_for(
+          "gdbscan/bfs/frontier-expand",
           static_cast<std::int64_t>(frontier.size()), [&](std::int64_t f) {
             const std::int32_t x = frontier[static_cast<std::size_t>(f)];
             if (is_core[static_cast<std::size_t>(x)] == 0) {
@@ -126,7 +129,7 @@ template <int DIM>
   }
   result.is_core = std::move(is_core);
   result.num_clusters = next_cluster;
-  timings.main = timer.lap();
+  timings.main = timer.lap("gdbscan/bfs", &timings.main_profile);
   result.timings = timings;
   // Both all-to-all passes (degree count + edge fill) evaluate every
   // ordered pair: the O(n^2) work the paper's framework avoids.

@@ -44,12 +44,13 @@ template <int DIM>
   exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("hybrid/index", &timings.index_construction_profile);
 
   // Device pass 1: neighbor counts (cheap, no materialization).
   exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::int64_t> counts(points.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("hybrid/pre/neighbor-count", n, [&](std::int64_t i) {
     std::vector<std::int32_t> neighbors;
     const std::int64_t tested =
         index.neighbors(points[static_cast<std::size_t>(i)], neighbors);
@@ -58,11 +59,12 @@ template <int DIM>
     distance_tally.local() += tested;
   });
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("hybrid/pre/core-flags", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     is_core[ui] = counts[ui] >= params.minpts ? 1 : 0;
   });
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("hybrid/pre", &timings.preprocessing_profile);
 
   // Batched materialize-and-consume: points are packed greedily into
   // batches whose total neighbor count fits the device buffer.
@@ -93,6 +95,7 @@ template <int DIM>
     // "Device" kernel: materialize the batch's neighbor lists.
     buffer.resize(static_cast<std::size_t>(used));
     exec::parallel_for(
+        "hybrid/main/batch-fill",
         static_cast<std::int64_t>(batch_ids.size()), [&](std::int64_t k) {
           const std::int32_t x = batch_ids[static_cast<std::size_t>(k)];
           std::vector<std::int32_t> neighbors;
@@ -116,12 +119,13 @@ template <int DIM>
     }
     batch_start = i;
   }
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("hybrid/main", &timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("hybrid/finalize", &timings.finalization_profile);
   result.timings = timings;
   result.distance_computations = distance_tally.combine();
   if (memory) result.peak_memory_bytes = memory->peak();

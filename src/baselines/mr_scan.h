@@ -29,12 +29,13 @@ template <int DIM>
   exec::PhaseProfiler timer;
   UniformGridIndex<DIM> index(points, params.eps);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("mr-scan/index", &timings.index_construction_profile);
 
   // Phase 1: core points, before any cluster generation.
   exec::PerThread<std::int64_t> distance_tally;
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("mr-scan/pre/neighbor-count", n, [&](std::int64_t i) {
     std::vector<std::int32_t> neighbors;
     const std::int64_t tested =
         index.neighbors(points[static_cast<std::size_t>(i)], neighbors);
@@ -43,13 +44,14 @@ template <int DIM>
     }
     distance_tally.local() += tested;
   });
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("mr-scan/pre", &timings.preprocessing_profile);
 
   // Phase 2: cluster generation through the disjoint-set structure.
   std::vector<std::int32_t> labels(points.size());
   init_singletons(labels);
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("mr-scan/main/union", n, [&](std::int64_t i) {
     const auto x = static_cast<std::int32_t>(i);
     if (is_core[static_cast<std::size_t>(x)] == 0) return;
     std::vector<std::int32_t> neighbors;
@@ -60,12 +62,13 @@ template <int DIM>
     }
     distance_tally.local() += tested;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("mr-scan/main", &timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("mr-scan/finalize", &timings.finalization_profile);
   result.timings = timings;
   result.distance_computations = distance_tally.combine();
   return result;

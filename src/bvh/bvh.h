@@ -73,7 +73,8 @@ class Bvh {
   /// Convenience: hierarchy over raw points.
   explicit Bvh(const std::vector<Point<DIM>>& points) {
     std::vector<Box<DIM>> boxes(points.size());
-    exec::parallel_for(static_cast<std::int64_t>(points.size()),
+    exec::parallel_for("bvh/build/point-boxes",
+                       static_cast<std::int64_t>(points.size()),
                        [&](std::int64_t i) {
                          const auto& p = points[static_cast<std::size_t>(i)];
                          boxes[static_cast<std::size_t>(i)] = Box<DIM>{p, p};
@@ -303,7 +304,8 @@ class Bvh {
 
     // Scene bounds over primitive boxes.
     scene_ = exec::parallel_reduce(
-        static_cast<std::int64_t>(n_), Box<DIM>::empty(),
+        "bvh/build/scene-bounds", static_cast<std::int64_t>(n_),
+        Box<DIM>::empty(),
         [&](std::int64_t i) { return boxes[static_cast<std::size_t>(i)]; },
         [](Box<DIM> a, const Box<DIM>& b) {
           a.expand(b);
@@ -313,7 +315,8 @@ class Bvh {
     // Morton codes of centroids; radix-sort primitive ids by code (the
     // stable sort breaks code ties by id, as the GPU pipeline would).
     codes_.resize(boxes.size());
-    exec::parallel_for(static_cast<std::int64_t>(n_), [&](std::int64_t i) {
+    exec::parallel_for("bvh/build/morton-codes", static_cast<std::int64_t>(n_),
+                       [&](std::int64_t i) {
       codes_[static_cast<std::size_t>(i)] =
           morton_code(boxes[static_cast<std::size_t>(i)].center(), scene_);
     });
@@ -323,7 +326,8 @@ class Bvh {
 
     leaf_bounds_.resize(boxes.size());
     positions_.resize(boxes.size());
-    exec::parallel_for(static_cast<std::int64_t>(n_), [&](std::int64_t pos) {
+    exec::parallel_for("bvh/build/leaf-order", static_cast<std::int64_t>(n_),
+                       [&](std::int64_t pos) {
       const std::int32_t id = sorted_ids_[static_cast<std::size_t>(pos)];
       leaf_bounds_[static_cast<std::size_t>(pos)] =
           boxes[static_cast<std::size_t>(id)];
@@ -337,7 +341,7 @@ class Bvh {
     internal_.resize(static_cast<std::size_t>(num_internal));
     leaf_parent_.resize(static_cast<std::size_t>(n_));
     internal_[0].parent = -1;
-    exec::parallel_for(num_internal, [&](std::int64_t ii) {
+    exec::parallel_for("bvh/build/hierarchy", num_internal, [&](std::int64_t ii) {
       const auto i = static_cast<std::int32_t>(ii);
       // Direction and range of the node's keys.
       const int d = delta(i, i + 1) > delta(i, i - 1) ? 1 : -1;
@@ -380,7 +384,8 @@ class Bvh {
     // Bottom-up refit: the second thread to reach a node computes its
     // bounds from the (now finished) children.
     std::vector<std::int32_t> arrivals(static_cast<std::size_t>(num_internal), 0);
-    exec::parallel_for(static_cast<std::int64_t>(n_), [&](std::int64_t leaf) {
+    exec::parallel_for("bvh/build/refit", static_cast<std::int64_t>(n_),
+                       [&](std::int64_t leaf) {
       std::int32_t node = leaf_parent_[static_cast<std::size_t>(leaf)];
       while (node >= 0) {
         if (exec::atomic_fetch_add(arrivals[static_cast<std::size_t>(node)],

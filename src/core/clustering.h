@@ -130,16 +130,17 @@ inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
   const auto n = static_cast<std::int64_t>(labels.size());
   // Rank the roots with an exclusive scan to obtain dense cluster ids.
   std::vector<std::int32_t> compact(labels.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("finalize/core-roots", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     compact[ui] = (labels[ui] == static_cast<std::int32_t>(i) &&
                    is_core[ui] != 0)
                       ? 1
                       : 0;
   });
-  const std::int32_t num_clusters = exec::exclusive_scan(compact.data(), n);
+  const std::int32_t num_clusters =
+      exec::exclusive_scan("finalize/cluster-rank", compact.data(), n);
   std::vector<std::int32_t> out(labels.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("finalize/relabel", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     if (is_core[ui] == 0 && labels[ui] == static_cast<std::int32_t>(i)) {
       out[ui] = kNoise;

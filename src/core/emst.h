@@ -94,7 +94,7 @@ template <int DIM>
   std::vector<float> core2;
   if (config.mutual_reachability_k > 1) {
     core2 = k_distances(points, config.mutual_reachability_k);
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("emst/core-dist2", n, [&](std::int64_t i) {
       auto& c = core2[static_cast<std::size_t>(i)];
       c = c * c;
     });
@@ -127,7 +127,7 @@ template <int DIM>
   while (num_components > 1) {
     ++rounds;
     // Stable component snapshot for this round.
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("emst/round/snapshot", n, [&](std::int64_t i) {
       component[static_cast<std::size_t>(i)] =
           uf.representative(static_cast<std::int32_t>(i));
       component_best[static_cast<std::size_t>(i)] = ~std::uint64_t{0};
@@ -135,7 +135,7 @@ template <int DIM>
 
     // Per-point nearest neighbor outside the own component, then reduce
     // to a per-component minimum (packed atomic min on the root's slot).
-    exec::parallel_for(n, [&](std::int64_t ii) {
+    exec::parallel_for("emst/round/nearest", n, [&](std::int64_t ii) {
       const auto i = static_cast<std::int32_t>(ii);
       const std::int32_t my_component = component[static_cast<std::size_t>(i)];
       std::int64_t evals = 0;  // stack-local, flushed once per query
@@ -204,7 +204,7 @@ template <int DIM>
   if (n == 0) return result;
   const auto& core = core_distances;
   std::vector<std::uint8_t> is_core(core_distances.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("hdbscan-cut/core-flags", n, [&](std::int64_t i) {
     is_core[static_cast<std::size_t>(i)] =
         core[static_cast<std::size_t>(i)] <= eps ? 1 : 0;
   });
@@ -218,7 +218,7 @@ template <int DIM>
   // Re-root every cluster at a core member so finalize_labels recognizes
   // it (an all-noise chain collapses away naturally).
   std::vector<std::int32_t> rerooted(core_distances.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("hdbscan-cut/reroot-init", n, [&](std::int64_t i) {
     rerooted[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
   });
   std::vector<std::int32_t> cluster_root(core_distances.size(), -1);
@@ -228,7 +228,7 @@ template <int DIM>
         labels[static_cast<std::size_t>(i)])];
     if (root < 0) root = i;
   }
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("hdbscan-cut/reroot", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     if (is_core[ui] == 0) return;  // DBSCAN*: non-core points are noise
     rerooted[ui] =

@@ -44,7 +44,8 @@ template <int DIM>
   Bvh<DIM> bvh(points);
   exec::ScopedCharge bvh_charge(options.memory, bvh.bytes_used());
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("fdbscan/index", &timings.index_construction_profile);
 
   // --- Preprocessing: determine core points -------------------------------
   // Work counters accumulate into striped per-thread slots: a shared
@@ -53,11 +54,11 @@ template <int DIM>
   std::vector<std::uint8_t> is_core(points.size(), 0);
   if (params.minpts <= 1) {
     // Degenerate density threshold: every point is core.
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("fdbscan/pre/all-core", n, [&](std::int64_t i) {
       is_core[static_cast<std::size_t>(i)] = 1;
     });
   } else if (params.minpts > 2) {
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("fdbscan/pre/core-count", n, [&](std::int64_t i) {
       const auto& x = points[static_cast<std::size_t>(i)];
       std::int32_t count = 0;  // the traversal finds x itself at distance 0
       TraversalStats stats;  // stack-local: increments stay in registers
@@ -74,7 +75,8 @@ template <int DIM>
       work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("fdbscan/pre", &timings.preprocessing_profile);
 
   // --- Main phase: fused traversal + union-find ---------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -82,7 +84,7 @@ template <int DIM>
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
   const bool fof = params.minpts == 2;  // Friends-of-Friends fast path
 
-  exec::parallel_for(n, [&](std::int64_t pos) {
+  exec::parallel_for("fdbscan/main/traverse-union", n, [&](std::int64_t pos) {
     // Threads are assigned sorted leaf positions (not raw ids) so that
     // neighboring threads touch neighboring memory — the batched, low
     // data-divergence launch of §3.2.
@@ -111,13 +113,14 @@ template <int DIM>
         &stats);
     work.local() += stats;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("fdbscan/main", &timings.main_profile);
 
   // --- Finalization --------------------------------------------------------
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("fdbscan/finalize", &timings.finalization_profile);
   result.timings = timings;
   const TraversalStats total_work = work.combine();
   result.distance_computations = total_work.leaves_tested;

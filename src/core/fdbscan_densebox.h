@@ -61,12 +61,12 @@ template <int DIM>
   // Primitives: [0, num_cells) dense-cell boxes, then isolated points.
   std::vector<Box<DIM>> primitives(
       static_cast<std::size_t>(num_cells + num_isolated));
-  exec::parallel_for(num_cells, [&](std::int64_t c) {
+  exec::parallel_for("densebox/index/cell-boxes", num_cells, [&](std::int64_t c) {
     primitives[static_cast<std::size_t>(c)] =
         grid.spec().cell_box(cells[static_cast<std::size_t>(c)].key);
   });
   std::vector<std::int32_t> isolated_ids(static_cast<std::size_t>(num_isolated));
-  exec::parallel_for(num_isolated, [&](std::int64_t k) {
+  exec::parallel_for("densebox/index/isolated-points", num_isolated, [&](std::int64_t k) {
     const std::int32_t id =
         perm[static_cast<std::size_t>(dense_points + k)];
     isolated_ids[static_cast<std::size_t>(k)] = id;
@@ -79,7 +79,8 @@ template <int DIM>
       options.memory,
       bvh.bytes_used() + isolated_ids.size() * sizeof(std::int32_t));
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("densebox/index", &timings.index_construction_profile);
 
   // --- Preprocessing -------------------------------------------------------
   // Work accounting: explicit within() scans over dense-cell members plus
@@ -90,15 +91,15 @@ template <int DIM>
   // scans) — never a shared atomic in the traversal loop.
   exec::PerThread<TraversalStats> work;
   std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for(dense_points, [&](std::int64_t k) {
+  exec::parallel_for("densebox/pre/dense-core", dense_points, [&](std::int64_t k) {
     is_core[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = 1;
   });
   if (params.minpts <= 1) {
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("densebox/pre/all-core", n, [&](std::int64_t i) {
       is_core[static_cast<std::size_t>(i)] = 1;
     });
   } else if (params.minpts > 2) {
-    exec::parallel_for(num_isolated, [&](std::int64_t k) {
+    exec::parallel_for("densebox/pre/core-count", num_isolated, [&](std::int64_t k) {
       const std::int32_t x = isolated_ids[static_cast<std::size_t>(k)];
       const auto& px = points[static_cast<std::size_t>(x)];
       std::int32_t count = 0;  // includes x itself (found as a primitive)
@@ -133,7 +134,8 @@ template <int DIM>
       work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("densebox/pre", &timings.preprocessing_profile);
 
   // --- Main phase -----------------------------------------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -142,7 +144,7 @@ template <int DIM>
   const bool fof = params.minpts == 2;
 
   // Union every dense cell internally (all members are one cluster).
-  exec::parallel_for(num_cells, [&](std::int64_t c) {
+  exec::parallel_for("densebox/main/cell-union", num_cells, [&](std::int64_t c) {
     const CellRange& cell = cells[static_cast<std::size_t>(c)];
     const std::int32_t first = perm[static_cast<std::size_t>(cell.begin)];
     for (std::int32_t m = cell.begin + 1; m < cell.end; ++m) {
@@ -152,7 +154,7 @@ template <int DIM>
 
   // Tree search for all points (dense-cell members included: they are the
   // ones stitching adjacent cells together).
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("densebox/main/traverse-union", n, [&](std::int64_t i) {
     const auto x = static_cast<std::int32_t>(i);
     const auto& px = points[static_cast<std::size_t>(x)];
     const std::int32_t own_cell =
@@ -205,13 +207,14 @@ template <int DIM>
     stats.leaves_tested += scans;
     work.local() += stats;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("densebox/main", &timings.main_profile);
 
   // --- Finalization ---------------------------------------------------------
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("densebox/finalize", &timings.finalization_profile);
   result.timings = timings;
   result.num_dense_cells = num_cells;
   result.points_in_dense_cells = dense_points;

@@ -102,7 +102,8 @@ template <int DIM>
   exec::PhaseProfiler timer;
   Bvh<DIM> bvh(points);
   PhaseTimings timings;
-  timings.index_construction = timer.lap(&timings.index_construction_profile);
+  timings.index_construction =
+      timer.lap("periodic/index", &timings.index_construction_profile);
 
   // --- Preprocessing -------------------------------------------------------
   // Image queries count toward the same striped per-thread work tallies
@@ -110,11 +111,11 @@ template <int DIM>
   exec::PerThread<TraversalStats> work;
   std::vector<std::uint8_t> is_core(points.size(), 0);
   if (params.minpts <= 1) {
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("periodic/pre/all-core", n, [&](std::int64_t i) {
       is_core[static_cast<std::size_t>(i)] = 1;
     });
   } else if (params.minpts > 2) {
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("periodic/pre/core-count", n, [&](std::int64_t i) {
       const auto& x = points[static_cast<std::size_t>(i)];
       std::int32_t count = 0;
       TraversalStats stats;  // stack-local: increments stay in registers
@@ -136,7 +137,8 @@ template <int DIM>
       work.local() += stats;
     });
   }
-  timings.preprocessing = timer.lap(&timings.preprocessing_profile);
+  timings.preprocessing =
+      timer.lap("periodic/pre", &timings.preprocessing_profile);
 
   // --- Main phase -----------------------------------------------------------
   std::vector<std::int32_t> labels(points.size());
@@ -144,7 +146,7 @@ template <int DIM>
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
   const bool fof = params.minpts == 2;
 
-  exec::parallel_for(n, [&](std::int64_t pos) {
+  exec::parallel_for("periodic/main/traverse-union", n, [&](std::int64_t pos) {
     const std::int32_t x = bvh.primitive_at(static_cast<std::int32_t>(pos));
     const auto& px = points[static_cast<std::size_t>(x)];
     TraversalStats stats;
@@ -174,12 +176,13 @@ template <int DIM>
         });
     work.local() += stats;
   });
-  timings.main = timer.lap(&timings.main_profile);
+  timings.main = timer.lap("periodic/main", &timings.main_profile);
 
   flatten(labels);
   Clustering result =
       detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization = timer.lap(&timings.finalization_profile);
+  timings.finalization =
+      timer.lap("periodic/finalize", &timings.finalization_profile);
   result.timings = timings;
   const TraversalStats total_work = work.combine();
   result.distance_computations = total_work.leaves_tested;

@@ -37,7 +37,7 @@ template <int DIM>
   Bvh<DIM> bvh(points);
   const std::int32_t k = std::min<std::int32_t>(
       minpts, static_cast<std::int32_t>(n));  // includes self at distance 0
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("kdist/knn", n, [&](std::int64_t i) {
     const auto nn = bvh.nearest(points[static_cast<std::size_t>(i)], k);
     // nn[0] is the point itself (distance 0); the k-dist is the last.
     result[static_cast<std::size_t>(i)] = std::sqrt(nn.back().second);

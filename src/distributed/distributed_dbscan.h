@@ -120,7 +120,7 @@ template <int DIM>
   };
 
   std::vector<std::int32_t> owner(points.size());
-  exec::parallel_for(n, [&](std::int64_t i) {
+  exec::parallel_for("distributed/decompose/owner", n, [&](std::int64_t i) {
     owner[static_cast<std::size_t>(i)] =
         owner_of(points[static_cast<std::size_t>(i)]);
   });
@@ -162,7 +162,8 @@ template <int DIM>
     const auto& ids = local_ids[static_cast<std::size_t>(r)];
     if (ids.empty()) continue;
     std::vector<Point<DIM>> local_points(ids.size());
-    exec::parallel_for(static_cast<std::int64_t>(ids.size()),
+    exec::parallel_for("distributed/pre/gather-local",
+                       static_cast<std::int64_t>(ids.size()),
                        [&](std::int64_t k) {
                          local_points[static_cast<std::size_t>(k)] =
                              points[static_cast<std::size_t>(
@@ -175,11 +176,12 @@ template <int DIM>
     // guarantees every eps-neighbor of an owned point is local, so the
     // count is exact.
     if (params.minpts <= 1) {
-      exec::parallel_for(owned, [&](std::int64_t k) {
+      exec::parallel_for("distributed/pre/all-core", owned, [&](std::int64_t k) {
         is_core[static_cast<std::size_t>(ids[static_cast<std::size_t>(k)])] = 1;
       });
     } else if (params.minpts > 2) {
-      exec::parallel_for(owned, [&](std::int64_t k) {
+      exec::parallel_for("distributed/pre/core-count", owned,
+                         [&](std::int64_t k) {
         const auto& p = local_points[static_cast<std::size_t>(k)];
         std::int32_t count = 0;
         bvh.for_each_near(p, eps2, [&](std::int32_t, std::int32_t) {
@@ -206,7 +208,8 @@ template <int DIM>
     const std::int32_t owned = owned_count[static_cast<std::size_t>(r)];
     if (owned == 0) continue;
     std::vector<Point<DIM>> local_points(ids.size());
-    exec::parallel_for(static_cast<std::int64_t>(ids.size()),
+    exec::parallel_for("distributed/main/gather-local",
+                       static_cast<std::int64_t>(ids.size()),
                        [&](std::int64_t k) {
                          local_points[static_cast<std::size_t>(k)] =
                              points[static_cast<std::size_t>(
@@ -219,7 +222,8 @@ template <int DIM>
     // globally-smaller id resolves the edge (it always holds both
     // endpoints thanks to the halo).
     exec::PerThread<std::int64_t> cross_edges;
-    exec::parallel_for(owned, [&](std::int64_t k) {
+    exec::parallel_for("distributed/main/traverse-union", owned,
+                       [&](std::int64_t k) {
       const std::int32_t x = ids[static_cast<std::size_t>(k)];
       const auto& p = local_points[static_cast<std::size_t>(k)];
       std::int64_t local_cross = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/trace.h"
+
 namespace fdbscan::exec {
 
 void MemoryTracker::charge(std::size_t bytes) {
@@ -10,10 +12,18 @@ void MemoryTracker::charge(std::size_t bytes) {
   }
   current_ += bytes;
   peak_ = std::max(peak_, current_);
+  if (trace_enabled()) {
+    trace_record_counter("device_memory",
+                         static_cast<std::int64_t>(current_));
+  }
 }
 
 void MemoryTracker::release(std::size_t bytes) noexcept {
   current_ = bytes > current_ ? 0 : current_ - bytes;
+  if (trace_enabled()) {
+    trace_record_counter("device_memory",
+                         static_cast<std::int64_t>(current_));
+  }
 }
 
 }  // namespace fdbscan::exec

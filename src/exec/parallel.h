@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "exec/trace.h"
 
 namespace fdbscan::exec {
 
@@ -34,16 +35,24 @@ inline std::int64_t reduce_grain(std::int64_t n) {
 }
 }  // namespace detail
 
-/// parallel_for: invokes f(i) for every i in [0, n).
+/// parallel_for: invokes f(i) for every i in [0, n). The labeled overload
+/// tags the launch for the tracing subsystem (exec/trace.h; convention
+/// "algo/phase/kernel"); `name` must outlive the launch — string literals
+/// and trace_intern() results qualify.
 template <class F>
-void parallel_for(std::int64_t n, F&& f) {
+void parallel_for(const char* name, std::int64_t n, F&& f) {
   if (n <= 0) return;
   auto& p = detail::pool();
   std::function<void(std::int64_t, std::int64_t)> body =
       [&f](std::int64_t begin, std::int64_t end) {
         for (std::int64_t i = begin; i < end; ++i) f(i);
       };
-  p.run(n, detail::default_grain(n, p.workers()), body);
+  p.run(name, n, detail::default_grain(n, p.workers()), body);
+}
+
+template <class F>
+void parallel_for(std::int64_t n, F&& f) {
+  parallel_for(kUnnamedKernel, n, std::forward<F>(f));
 }
 
 /// parallel_reduce: computes reduce(init, f(0), f(1), ..., f(n-1)) where
@@ -54,7 +63,8 @@ void parallel_for(std::int64_t n, F&& f) {
 /// order — so even float sums are bit-identical from run to run at any
 /// FDBSCAN_NUM_THREADS.
 template <class T, class F, class R>
-[[nodiscard]] T parallel_reduce(std::int64_t n, T init, F&& f, R&& reduce) {
+[[nodiscard]] T parallel_reduce(const char* name, std::int64_t n, T init,
+                                F&& f, R&& reduce) {
   if (n <= 0) return init;
   auto& p = detail::pool();
   const std::int64_t grain = detail::reduce_grain(n);
@@ -69,23 +79,35 @@ template <class T, class F, class R>
         for (std::int64_t i = begin + 1; i < end; ++i) acc = reduce(acc, f(i));
         partials[static_cast<std::size_t>(begin / grain)] = std::move(acc);
       };
-  p.run(n, grain, body);
+  p.run(name, n, grain, body);
   T total = std::move(init);
   for (T& x : partials) total = reduce(std::move(total), std::move(x));
   return total;
 }
 
+template <class T, class F, class R>
+[[nodiscard]] T parallel_reduce(std::int64_t n, T init, F&& f, R&& reduce) {
+  return parallel_reduce(kUnnamedKernel, n, std::move(init),
+                         std::forward<F>(f), std::forward<R>(reduce));
+}
+
 /// Sum-reduction convenience.
 template <class T, class F>
-[[nodiscard]] T parallel_sum(std::int64_t n, F&& f) {
+[[nodiscard]] T parallel_sum(const char* name, std::int64_t n, F&& f) {
   return parallel_reduce(
-      n, T{}, std::forward<F>(f), [](T a, T b) { return a + b; });
+      name, n, T{}, std::forward<F>(f), [](T a, T b) { return a + b; });
+}
+
+template <class T, class F>
+[[nodiscard]] T parallel_sum(std::int64_t n, F&& f) {
+  return parallel_sum<T>(kUnnamedKernel, n, std::forward<F>(f));
 }
 
 /// Exclusive prefix sum over data[0..n), in place. Returns the grand total
-/// (i.e. the value that would occupy index n). Two-pass chunked scan.
+/// (i.e. the value that would occupy index n). Two-pass chunked scan; both
+/// passes carry the launch label.
 template <class T>
-T exclusive_scan(T* data, std::int64_t n) {
+T exclusive_scan(const char* name, T* data, std::int64_t n) {
   if (n <= 0) return T{};
   auto& p = detail::pool();
   const int workers = p.workers();
@@ -101,7 +123,7 @@ T exclusive_scan(T* data, std::int64_t n) {
   const std::int64_t nchunks = std::min<std::int64_t>(workers * 4, n);
   const std::int64_t chunk = (n + nchunks - 1) / nchunks;
   std::vector<T> sums(static_cast<std::size_t>(nchunks), T{});
-  parallel_for(nchunks, [&](std::int64_t c) {
+  parallel_for(name, nchunks, [&](std::int64_t c) {
     const std::int64_t b = c * chunk, e = std::min(b + chunk, n);
     T s{};
     for (std::int64_t i = b; i < e; ++i) s += data[i];
@@ -113,7 +135,7 @@ T exclusive_scan(T* data, std::int64_t n) {
     sums[static_cast<std::size_t>(c)] = total;
     total += s;
   }
-  parallel_for(nchunks, [&](std::int64_t c) {
+  parallel_for(name, nchunks, [&](std::int64_t c) {
     const std::int64_t b = c * chunk, e = std::min(b + chunk, n);
     T run = sums[static_cast<std::size_t>(c)];
     for (std::int64_t i = b; i < e; ++i) {
@@ -126,8 +148,20 @@ T exclusive_scan(T* data, std::int64_t n) {
 }
 
 template <class T>
+T exclusive_scan(T* data, std::int64_t n) {
+  return exclusive_scan(kUnnamedKernel, data, n);
+}
+
+template <class T>
+T exclusive_scan(const char* name, std::vector<T>& data) {
+  return exclusive_scan(name, data.data(),
+                        static_cast<std::int64_t>(data.size()));
+}
+
+template <class T>
 T exclusive_scan(std::vector<T>& data) {
-  return exclusive_scan(data.data(), static_cast<std::int64_t>(data.size()));
+  return exclusive_scan(kUnnamedKernel, data.data(),
+                        static_cast<std::int64_t>(data.size()));
 }
 
 }  // namespace fdbscan::exec

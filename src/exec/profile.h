@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/timer.h"
+#include "exec/trace.h"
 
 namespace fdbscan::exec {
 
@@ -37,7 +38,14 @@ struct KernelPhaseProfile {
 
   /// Load-imbalance factor: busiest thread vs. the mean busy thread.
   /// 1.0 = perfectly balanced, W = all work on one of W threads,
-  /// 0.0 = no parallel work recorded in this phase.
+  /// 0.0 = no parallel work recorded in this phase (sentinel, not
+  /// "perfect").
+  ///
+  /// Degenerate case: always read together with `workers`. A phase whose
+  /// launches all ran on a single thread reports imbalance == 1.0 (that
+  /// one thread matches the mean of one) — indistinguishable from a
+  /// perfectly balanced W-thread phase by this number alone. workers == 1
+  /// with a multi-thread pool IS the extreme imbalance. (DESIGN.md §7.)
   [[nodiscard]] double imbalance() const noexcept {
     if (workers <= 0 || busy_total <= 0.0) return 0.0;
     return busy_max * static_cast<double>(workers) / busy_total;
@@ -64,12 +72,21 @@ struct KernelPhaseProfile {
 
 /// Drop-in upgrade of Timer for phase sequencing: lap() returns elapsed
 /// seconds like Timer::lap() and, when given an out-param, also the
-/// kernel profile of the elapsed phase.
+/// kernel profile of the elapsed phase. The named overload additionally
+/// emits the elapsed phase as a trace span (exec/trace.h), under which
+/// the phase's kernel launches nest on the dispatcher's track.
 class PhaseProfiler {
  public:
-  PhaseProfiler() : last_(kernel_profile()) {}
+  PhaseProfiler() : last_(kernel_profile()), span_begin_ns_(trace_now_ns()) {}
 
   double lap(KernelPhaseProfile* profile = nullptr) {
+    return lap(nullptr, profile);
+  }
+
+  /// Ends the current phase, naming it `phase_name` (convention:
+  /// "algo/phase"; nullptr = unnamed, no span emitted). Returns elapsed
+  /// seconds since the previous lap.
+  double lap(const char* phase_name, KernelPhaseProfile* profile = nullptr) {
     const double s = timer_.lap();
     if (profile) {
       KernelProfileSnapshot now = kernel_profile();
@@ -78,12 +95,23 @@ class PhaseProfiler {
     } else {
       last_ = kernel_profile();
     }
+    const std::int64_t now_ns = trace_now_ns();
+    if (phase_name != nullptr && trace_enabled()) {
+      // Retroactive span: the phase name is known at its end, so adopt
+      // the begin timestamp recorded at the previous lap. The end must
+      // be exactly now_ns — the next phase adopts the same timestamp,
+      // and any later clock read would make consecutive spans overlap
+      // (the flush would clamp one of them away).
+      trace_record_span(phase_name, span_begin_ns_, now_ns, "phase");
+    }
+    span_begin_ns_ = now_ns;
     return s;
   }
 
  private:
   Timer timer_;
   KernelProfileSnapshot last_;
+  std::int64_t span_begin_ns_;
 };
 
 }  // namespace fdbscan::exec

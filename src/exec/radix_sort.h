@@ -33,7 +33,7 @@ inline void radix_pass(const std::uint64_t* keys, const std::int32_t* ids,
   // Per-chunk bucket counts.
   std::vector<std::int64_t> counts(
       static_cast<std::size_t>(nchunks * kBuckets), 0);
-  parallel_for(nchunks, [&](std::int64_t c) {
+  parallel_for("radix-sort/histogram", nchunks, [&](std::int64_t c) {
     std::int64_t* my = counts.data() + c * kBuckets;
     const std::int64_t begin = c * chunk;
     const std::int64_t end = std::min(begin + chunk, n);
@@ -55,7 +55,7 @@ inline void radix_pass(const std::uint64_t* keys, const std::int32_t* ids,
   }
 
   // Scatter.
-  parallel_for(nchunks, [&](std::int64_t c) {
+  parallel_for("radix-sort/scatter", nchunks, [&](std::int64_t c) {
     std::int64_t* my = counts.data() + c * kBuckets;
     const std::int64_t begin = c * chunk;
     const std::int64_t end = std::min(begin + chunk, n);
@@ -84,7 +84,7 @@ inline void radix_sort_pairs(std::vector<std::uint64_t>& keys,
     std::uint64_t all;
   };
   const Extent extent = parallel_reduce(
-      n, Extent{0, ~std::uint64_t{0}},
+      "radix-sort/byte-extent", n, Extent{0, ~std::uint64_t{0}},
       [&](std::int64_t i) {
         return Extent{keys[static_cast<std::size_t>(i)],
                       keys[static_cast<std::size_t>(i)]};
@@ -110,7 +110,7 @@ inline void radix_sort_pairs(std::vector<std::uint64_t>& keys,
   }
   if (k_src != keys.data()) {
     // Odd number of executed passes: copy back.
-    parallel_for(n, [&](std::int64_t i) {
+    parallel_for("radix-sort/copy-back", n, [&](std::int64_t i) {
       keys[static_cast<std::size_t>(i)] = k_src[i];
       ids[static_cast<std::size_t>(i)] = i_src[i];
     });

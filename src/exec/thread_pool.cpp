@@ -9,6 +9,7 @@
 #include "exec/atomic.h"
 #include "exec/profile.h"
 #include "exec/timer.h"
+#include "exec/trace.h"
 
 namespace fdbscan::exec {
 
@@ -174,23 +175,34 @@ void ThreadPool::worker_loop(int index) {
 void ThreadPool::work(std::uint64_t /*generation*/) {
   const std::int64_t n = job_n_;
   const std::int64_t grain = job_grain_;
+  const char* name = job_name_;
   const auto& body = *job_body_;
+  const bool tracing = trace_enabled();
+  const std::int64_t trace_begin = tracing ? trace_now_ns() : 0;
+  std::int64_t my_chunks = 0;
   Timer busy;
   ++t_parallel_depth;
   for (;;) {
     std::int64_t begin = atomic_fetch_add(job_next_, grain);
     if (begin >= n) break;
     body(begin, std::min(begin + grain, n));
+    ++my_chunks;
   }
   --t_parallel_depth;
   profile_add_busy(busy.seconds());
+  if (tracing && my_chunks > 0) {
+    trace_record_kernel(name, trace_begin, trace_now_ns(), my_chunks,
+                        TraceKernelKind::kWorker);
+  }
 }
 
-void ThreadPool::run(std::int64_t n, std::int64_t grain,
+void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
                      const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (n <= 0) return;
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = (n + grain - 1) / grain;
+  const bool tracing = trace_enabled();
+  const std::int64_t trace_begin = tracing ? trace_now_ns() : 0;
   if (t_parallel_depth > 0 || threads_.empty() || n <= grain) {
     // Inline serial path, chunked identically to the pooled dispatch.
     // Covers (a) nested launches — executing them inline on the calling
@@ -203,6 +215,10 @@ void ThreadPool::run(std::int64_t n, std::int64_t grain,
     --t_parallel_depth;
     profile_add_busy(busy.seconds());
     profile_add_launch(chunks);
+    if (tracing) {
+      trace_record_kernel(name, trace_begin, trace_now_ns(), chunks,
+                          TraceKernelKind::kInline);
+    }
     return;
   }
   // Top-level dispatches from distinct user threads are serialized: the
@@ -213,6 +229,7 @@ void ThreadPool::run(std::int64_t n, std::int64_t grain,
     std::lock_guard<std::mutex> lock(mutex_);
     job_n_ = n;
     job_grain_ = grain;
+    job_name_ = name;
     job_next_ = 0;
     job_body_ = &body;
     active_ = static_cast<int>(threads_.size());
@@ -226,6 +243,13 @@ void ThreadPool::run(std::int64_t n, std::int64_t grain,
     job_body_ = nullptr;
   }
   profile_add_launch(chunks);
+  if (tracing) {
+    // The dispatcher's own chunk execution was recorded as a kWorker
+    // slice inside this window by work(); this slice is the launch's
+    // dispatch-to-done wall time.
+    trace_record_kernel(name, trace_begin, trace_now_ns(), chunks,
+                        TraceKernelKind::kLaunch);
+  }
 }
 
 }  // namespace detail

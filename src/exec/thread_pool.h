@@ -59,9 +59,17 @@ class ThreadPool {
   /// Blocks until all chunks are processed. `grain` is the chunk size;
   /// chunk k covers [k*grain, min((k+1)*grain, n)) in every execution
   /// mode (pooled, serial, nested), which is what makes chunk-indexed
-  /// reductions deterministic.
-  void run(std::int64_t n, std::int64_t grain,
+  /// reductions deterministic. `name` labels the launch for the tracing
+  /// subsystem (exec/trace.h); it must outlive the launch (string
+  /// literals and trace_intern() results qualify); nullptr reads as
+  /// "<unnamed>".
+  void run(const char* name, std::int64_t n, std::int64_t grain,
            const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  void run(std::int64_t n, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t)>& body) {
+    run(nullptr, n, grain, body);
+  }
 
   int workers() const noexcept { return static_cast<int>(threads_.size()) + 1; }
 
@@ -86,6 +94,7 @@ class ThreadPool {
   // the wake-up notification, read by workers after it).
   std::int64_t job_n_ = 0;
   std::int64_t job_grain_ = 1;
+  const char* job_name_ = nullptr;  // kernel label for tracing
   alignas(64) std::int64_t job_next_ = 0;  // atomic chunk cursor
   const std::function<void(std::int64_t, std::int64_t)>* job_body_ = nullptr;
 };

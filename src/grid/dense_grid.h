@@ -166,7 +166,7 @@ class DenseGrid {
   void build(const std::vector<Point<DIM>>& points, std::int32_t minpts) {
     const auto n = static_cast<std::int64_t>(points.size());
     std::vector<std::uint64_t> keys(points.size());
-    exec::parallel_for(n, [&](std::int64_t i) {
+    exec::parallel_for("dense-grid/cell-keys", n, [&](std::int64_t i) {
       keys[static_cast<std::size_t>(i)] =
           spec_.cell_key(points[static_cast<std::size_t>(i)]);
     });

@@ -99,7 +99,8 @@ class UnionFindView {
 
 /// Initialize labels to the singleton forest {0}, {1}, ..., {n-1}.
 inline void init_singletons(std::vector<std::int32_t>& labels) {
-  exec::parallel_for(static_cast<std::int64_t>(labels.size()),
+  exec::parallel_for("union-find/init-singletons",
+                     static_cast<std::int64_t>(labels.size()),
                      [&](std::int64_t i) {
                        labels[static_cast<std::size_t>(i)] =
                            static_cast<std::int32_t>(i);
@@ -109,7 +110,7 @@ inline void init_singletons(std::vector<std::int32_t>& labels) {
 /// Finalization kernel: after this, labels[v] is the root of v's set for
 /// every v (the paper's extra phase ensuring all paths are compressed).
 inline void flatten(std::int32_t* labels, std::int32_t n) {
-  exec::parallel_for(n, [labels](std::int64_t v) {
+  exec::parallel_for("union-find/flatten", n, [labels](std::int64_t v) {
     std::int32_t curr = exec::atomic_load_relaxed(labels[v]);
     std::int32_t next;
     while (curr != (next = exec::atomic_load_relaxed(labels[curr]))) {

@@ -1,0 +1,277 @@
+// Tests for the named-kernel trace subsystem (src/exec/trace.h,
+// DESIGN.md §8): off-by-default capture, Chrome-trace JSON round-trip,
+// nested-launch attribution, thread-count invariance of the captured
+// kernel names, and the per-kernel aggregates that feed bench telemetry.
+//
+// Every tracing test enables capture itself via trace_start(""):
+// gtest_discover_tests runs each TEST in its own process, so no state
+// carries over — and when the whole binary runs in one process,
+// OffByDefault is registered first, before anyone turns capture on.
+#include "exec/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/emst.h"
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "core/fdbscan_periodic.h"
+#include "exec/memory_tracker.h"
+#include "exec/parallel.h"
+#include "test_utils.h"
+
+namespace fdbscan {
+namespace {
+
+using testing::ScopedThreads;
+
+// --- A minimal parser for the flat event lines trace_flush() emits -------
+
+struct EventLine {
+  char ph = 0;  // B / E / C / M
+  int tid = -1;
+  double ts = -1.0;
+  std::string name;
+  std::string cat;
+};
+
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t from = at + needle.size();
+  return line.substr(from, line.find('"', from) - from);
+}
+
+double extract_number(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::atof(line.c_str() + at + needle.size());
+}
+
+std::vector<EventLine> parse_events(const std::string& json) {
+  std::vector<EventLine> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string ph = extract_string(line, "ph");
+    if (ph.size() != 1) continue;
+    EventLine ev;
+    ev.ph = ph[0];
+    ev.tid = static_cast<int>(extract_number(line, "tid"));
+    ev.ts = extract_number(line, "ts");
+    ev.name = extract_string(line, "name");
+    ev.cat = extract_string(line, "cat");
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<Point<2>> small_cloud(std::int64_t n = 500) {
+  return testing::clustered_points<2>(n, 5, 10.0f, 0.2f, 42);
+}
+
+// --- Tests ---------------------------------------------------------------
+
+TEST(TraceTest, OffByDefault) {
+  // The suite must run without FDBSCAN_TRACE in the environment; the
+  // first trace_enabled() call latches the off state.
+  ::unsetenv("FDBSCAN_TRACE");
+  EXPECT_FALSE(exec::trace_enabled());
+
+  std::vector<int> out(1024, 0);
+  exec::parallel_for("test/off-kernel", 1024,
+                     [&](std::int64_t i) { out[std::size_t(i)] = 1; });
+  EXPECT_EQ(exec::trace_event_count(), 0);
+  EXPECT_EQ(exec::trace_dropped_count(), 0);
+  EXPECT_TRUE(exec::trace_kernel_aggregates(exec::TraceCursor{}).empty());
+  EXPECT_FALSE(exec::trace_enabled());
+}
+
+TEST(TraceTest, RoundTripJson) {
+  exec::trace_start("");  // capture on, no output file
+  exec::trace_reset();
+  ASSERT_TRUE(exec::trace_enabled());
+
+  const auto points = small_cloud();
+  Parameters params{0.5f, 3};
+  {
+    Clustering a = fdbscan(points, params);
+    Clustering b = fdbscan_densebox(points, params);
+    Box<2> domain;
+    for (int d = 0; d < 2; ++d) {
+      domain.min[d] = 0.0f;
+      domain.max[d] = 10.0f;
+    }
+    Clustering c = fdbscan_periodic(points, params, domain);
+    const auto mst = euclidean_mst(points);
+    ASSERT_GT(a.num_clusters, 0);
+    ASSERT_EQ(a.num_clusters, b.num_clusters);
+    ASSERT_FALSE(mst.empty());
+    (void)c;
+  }
+  ASSERT_GT(exec::trace_event_count(), 0);
+  EXPECT_EQ(exec::trace_dropped_count(), 0);
+
+  const std::string json = exec::trace_flush();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const auto events = parse_events(json);
+  ASSERT_FALSE(events.empty());
+
+  // Balanced B/E pairs, stack-matched names, monotone timestamps — all
+  // per tid (tools/trace_summary.py --validate applies the same rules).
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  std::set<std::string> kernel_names;
+  std::set<std::string> phase_names;
+  for (const EventLine& ev : events) {
+    if (ev.ph != 'B' && ev.ph != 'E') continue;
+    auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ev.ts, it->second)
+          << "timestamps go backwards on tid " << ev.tid;
+    }
+    last_ts[ev.tid] = ev.ts;
+    if (ev.ph == 'B') {
+      stacks[ev.tid].push_back(ev.name);
+      if (ev.cat == "kernel") kernel_names.insert(ev.name);
+      if (ev.cat == "phase") phase_names.insert(ev.name);
+    } else {
+      ASSERT_FALSE(stacks[ev.tid].empty())
+          << "E " << ev.name << " with empty stack on tid " << ev.tid;
+      EXPECT_EQ(stacks[ev.tid].back(), ev.name);
+      stacks[ev.tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed slices on tid " << tid;
+  }
+
+  // Every src/core/ algorithm exercised above must appear by name.
+  for (const char* name :
+       {"fdbscan/pre/core-count", "fdbscan/main/traverse-union",
+        "densebox/index/cell-boxes", "densebox/main/traverse-union",
+        "periodic/main/traverse-union", "emst/round/nearest",
+        "finalize/relabel", "bvh/build/morton-codes",
+        "union-find/flatten"}) {
+    EXPECT_TRUE(kernel_names.count(name)) << "missing kernel " << name;
+  }
+  for (const char* name : {"fdbscan/index", "fdbscan/main",
+                           "densebox/pre", "periodic/finalize"}) {
+    EXPECT_TRUE(phase_names.count(name)) << "missing phase span " << name;
+  }
+  // The whole launch surface is labeled: nothing records as <unnamed>.
+  EXPECT_EQ(kernel_names.count(exec::kUnnamedKernel), 0u);
+}
+
+TEST(TraceTest, NestedLaunchAttribution) {
+  exec::trace_start("");
+  const exec::TraceCursor cursor = exec::trace_cursor();
+
+  constexpr std::int64_t kOuter = 4;
+  std::vector<std::int64_t> sums(kOuter, 0);
+  exec::parallel_for("test/nested-outer", kOuter, [&](std::int64_t i) {
+    // Nested launches execute inline on the worker thread; the trace
+    // must attribute them to the inner kernel's name on that worker's
+    // track.
+    sums[std::size_t(i)] = exec::parallel_sum<std::int64_t>(
+        "test/nested-inner", 256, [](std::int64_t j) { return j; });
+  });
+  for (std::int64_t s : sums) EXPECT_EQ(s, 256 * 255 / 2);
+
+  const auto aggs = exec::trace_kernel_aggregates(cursor);
+  const auto find = [&](const std::string& name) {
+    return std::find_if(aggs.begin(), aggs.end(),
+                        [&](const auto& a) { return a.name == name; });
+  };
+  const auto outer = find("test/nested-outer");
+  const auto inner = find("test/nested-inner");
+  ASSERT_NE(outer, aggs.end());
+  ASSERT_NE(inner, aggs.end());
+  EXPECT_EQ(outer->count, 1);
+  // One inline launch per outer iteration, each executing its own chunks.
+  EXPECT_EQ(inner->count, kOuter);
+  EXPECT_GE(inner->chunks, kOuter);
+  EXPECT_GE(inner->workers, 1);
+  EXPECT_GT(inner->total_ms, 0.0);
+}
+
+TEST(TraceTest, AggregatesRespectCursor) {
+  exec::trace_start("");
+  exec::parallel_for("test/before-cursor", 64, [](std::int64_t) {});
+  const exec::TraceCursor cursor = exec::trace_cursor();
+  exec::parallel_for("test/after-cursor", 64, [](std::int64_t) {});
+
+  const auto aggs = exec::trace_kernel_aggregates(cursor);
+  const auto has = [&](const std::string& name) {
+    return std::any_of(aggs.begin(), aggs.end(),
+                       [&](const auto& a) { return a.name == name; });
+  };
+  EXPECT_TRUE(has("test/after-cursor"));
+  EXPECT_FALSE(has("test/before-cursor"));
+}
+
+TEST(TraceTest, ThreadCountInvariantKernelNames) {
+  exec::trace_start("");
+  const auto points = small_cloud(300);
+  Parameters params{0.5f, 4};
+
+  std::vector<std::set<std::string>> name_sets;
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    const exec::TraceCursor cursor = exec::trace_cursor();
+    Clustering result = fdbscan(points, params);
+    ASSERT_GT(result.num_clusters, 0);
+    std::set<std::string> names;
+    for (const auto& a : exec::trace_kernel_aggregates(cursor)) {
+      names.insert(a.name);
+    }
+    name_sets.push_back(std::move(names));
+  }
+  // The set of kernels an algorithm launches is a property of the
+  // algorithm, not of the worker count (inline vs. pooled execution must
+  // not change the labels).
+  EXPECT_EQ(name_sets[0], name_sets[1]);
+  EXPECT_EQ(name_sets[1], name_sets[2]);
+  EXPECT_TRUE(name_sets[0].count("fdbscan/main/traverse-union"));
+}
+
+TEST(TraceTest, MemoryTrackerCounterSamples) {
+  exec::trace_start("");
+  const std::int64_t before = exec::trace_event_count();
+  exec::MemoryTracker tracker;
+  tracker.charge(1 << 20);
+  tracker.release(1 << 20);
+  EXPECT_EQ(exec::trace_event_count(), before + 2);
+  const std::string json = exec::trace_flush();
+  EXPECT_NE(json.find("\"device_memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(TraceTest, SingleThreadImbalanceDegenerateCase) {
+  // The no-work sentinel: a phase with no recorded parallel work reports
+  // imbalance 0.0, not 1.0 (DESIGN.md §7).
+  EXPECT_EQ(exec::KernelPhaseProfile{}.imbalance(), 0.0);
+
+  // A single-thread run reports workers == 1 and imbalance == 1.0 — the
+  // degenerate case the workers field disambiguates: 1.0 on one worker
+  // is not balance, it is all work on one thread.
+  ScopedThreads scoped(1);
+  Clustering result = fdbscan(small_cloud(), Parameters{0.5f, 3});
+  const auto& main = result.timings.main_profile;
+  ASSERT_GT(main.launches, 0);
+  EXPECT_EQ(main.workers, 1);
+  EXPECT_DOUBLE_EQ(main.imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace fdbscan

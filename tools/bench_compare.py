@@ -90,6 +90,24 @@ def validate(doc, path="<doc>"):
         for key in PHASE_KEYS:
             _expect(isinstance(phases.get(key), (int, float)),
                     f"{where}: phase_ms.{key} missing")
+        if "peak_bytes" in e:
+            _expect(isinstance(e["peak_bytes"], int) and e["peak_bytes"] >= 0,
+                    f"{where}: peak_bytes must be a non-negative integer")
+        if "kernels" in e:
+            _expect(isinstance(e["kernels"], list),
+                    f"{where}: kernels must be an array")
+            for k, agg in enumerate(e["kernels"]):
+                kw = f"{where}.kernels[{k}]"
+                _expect(isinstance(agg, dict), f"{kw} is not an object")
+                _expect(isinstance(agg.get("name"), str) and agg["name"],
+                        f"{kw}: missing name")
+                for key in ("count", "chunks", "workers"):
+                    _expect(isinstance(agg.get(key), int) and agg[key] >= 0,
+                            f"{kw}: {key} must be a non-negative integer")
+                for key in ("total_ms", "max_ms", "imbalance"):
+                    _expect(isinstance(agg.get(key), (int, float))
+                            and agg[key] >= 0,
+                            f"{kw}: {key} must be a non-negative number")
         if "error" in e:
             _expect(isinstance(e["error"], str), f"{where}: error must be a string")
 
@@ -104,6 +122,29 @@ def load(path):
         raise SchemaError(f"{path}: invalid JSON: {exc}") from exc
     validate(doc, path)
     return doc
+
+
+def kernel_deltas(o, n, top=3):
+    """Top `top` kernels by absolute wall-ms delta between two entries'
+    per-kernel aggregates. Empty when either side lacks aggregates (the
+    run was not traced)."""
+    ok = {k["name"]: k for k in o.get("kernels", [])}
+    nk = {k["name"]: k for k in n.get("kernels", [])}
+    if not ok or not nk:
+        return []
+    deltas = []
+    for name in set(ok) | set(nk):
+        ov = ok.get(name, {}).get("total_ms", 0.0)
+        nv = nk.get(name, {}).get("total_ms", 0.0)
+        deltas.append((abs(nv - ov), name, ov, nv))
+    deltas.sort(reverse=True)
+    return [f"    kernel {name}: {ov:.3f} -> {nv:.3f} ms ({nv - ov:+.3f})"
+            for _, name, ov, nv in deltas[:top]]
+
+
+def wall_sum(doc):
+    """Summed wall_ms over non-errored entries."""
+    return sum(e["wall_ms"] for e in doc["entries"] if not e.get("error"))
 
 
 def compare(old, new, args):
@@ -144,6 +185,9 @@ def compare(old, new, args):
                 violations.append(
                     f"{name}: wall_ms regressed {o['wall_ms']:.3f} -> "
                     f"{n['wall_ms']:.3f} (budget +{args.wall_budget_pct:g}%)")
+                # When both runs were traced, name the kernels that moved:
+                # "which kernel got slower" beats "the entry got slower".
+                violations.extend(kernel_deltas(o, n))
 
     for name in new_entries:
         if name not in old_entries and not (exclude and exclude.search(name)):
@@ -181,6 +225,16 @@ def main(argv):
     parser.add_argument("--skip-wall", action="store_true",
                         help="compare work counters only (use when the runs "
                              "differ in thread count or machine)")
+    parser.add_argument("--wall-sum-budget-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="also gate the SUM of wall_ms over non-errored "
+                             "entries: new_sum <= old_sum * (1 + PCT/100) "
+                             "+ slack. Robust to per-entry noise; used by "
+                             "the bench_smoke tracing-overhead gate")
+    parser.add_argument("--wall-sum-slack-ms", type=float, default=25.0,
+                        help="absolute slack added to the wall-sum budget "
+                             "(default 25 ms: absorbs fixed per-run costs "
+                             "like the trace flush at tiny smoke scales)")
     parser.add_argument("--exclude", metavar="REGEX",
                         help="skip entries whose name matches this regex")
     args = parser.parse_args(argv)
@@ -199,6 +253,17 @@ def main(argv):
         return 2
 
     violations = compare(old, new, args)
+    if args.wall_sum_budget_pct is not None:
+        old_sum, new_sum = wall_sum(old), wall_sum(new)
+        limit = (old_sum * (1.0 + args.wall_sum_budget_pct / 100.0)
+                 + args.wall_sum_slack_ms)
+        print(f"wall sum: {old_sum:.3f} -> {new_sum:.3f} ms "
+              f"(limit {limit:.3f})")
+        if new_sum > limit:
+            violations.append(
+                f"wall_ms sum regressed {old_sum:.3f} -> {new_sum:.3f} "
+                f"(budget +{args.wall_sum_budget_pct:g}% "
+                f"+ {args.wall_sum_slack_ms:g} ms)")
     for v in violations:
         print(f"FAIL: {v}", file=sys.stderr)
     if violations:
