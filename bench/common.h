@@ -110,6 +110,21 @@ inline void report(benchmark::State& state, const Clustering& result) {
         100.0 * static_cast<double>(result.points_in_dense_cells) /
         static_cast<double>(result.labels.size());
   }
+  // Amortization counters (DESIGN.md §9): only for runs that went
+  // through an Engine, so free-function entries keep their exact
+  // historical counter sets. bench_compare.py gates that entries marked
+  // engine_warm (by the bench body, from pre-run engine state) report
+  // zero rebuilds and zero workspace growths.
+  if (result.timings.engine_run) {
+    state.counters["index_rebuilds"] =
+        static_cast<double>(result.timings.index_rebuilds);
+    state.counters["workspace_reallocs"] =
+        static_cast<double>(result.timings.workspace_reallocs);
+    if (result.timings.grid_cache_hits > 0) {
+      state.counters["grid_cache_hits"] =
+          static_cast<double>(result.timings.grid_cache_hits);
+    }
+  }
   // Kernel-launch profile of the main phase (populated by algorithms
   // that time phases through exec::PhaseProfiler). main_workers must be
   // read together with main_imbalance: a single-thread phase reports

@@ -10,8 +10,7 @@
 #include "baselines/gdbscan.h"
 #include "baselines/mr_scan.h"
 #include "common.h"
-#include "core/fdbscan.h"
-#include "core/fdbscan_densebox.h"
+#include "core/engine.h"
 #include "datasets_2d.h"
 
 namespace {
@@ -24,6 +23,11 @@ void register_all() {
   for (const auto& dataset : kDatasets2D) {
     const auto points =
         std::make_shared<const std::vector<Point2>>(dataset.generate(n, 42));
+    // One engine per dataset: the minpts sweep re-clusters the same
+    // points, so the point BVH is built exactly once (by the first
+    // fdbscan entry) and every later entry runs with a warm index and
+    // workspace — the amortization the telemetry gate checks.
+    const auto engine = std::make_shared<Engine<2>>(*points);
     for (std::int32_t minpts : dataset.minpts_sweep) {
       const Parameters params{dataset.minpts_sweep_eps, minpts};
       const std::string suffix =
@@ -40,15 +44,26 @@ void register_all() {
                    [=](benchmark::State&) {
                      return baselines::gdbscan(*points, params);
                    });
+      // engine_warm comes from the engine state BEFORE the run (index
+      // present / bundle cached): bench_compare.py --gate-amortized
+      // asserts warm entries report zero rebuilds and zero growths.
+      // points is captured explicitly in the engine entries: the engine
+      // only borrows the vector, so the shared_ptr must outlive them.
       register_run("fig4_minpts/fdbscan/" + suffix,
                    RunMeta{dataset.name, "fdbscan", n},
-                   [=](benchmark::State&) {
-                     return fdbscan::fdbscan(*points, params);
+                   [engine, points, params](benchmark::State& state) {
+                     (void)points;
+                     state.counters["engine_warm"] =
+                         engine->index_built() ? 1.0 : 0.0;
+                     return engine->run(params);
                    });
       register_run("fig4_minpts/fdbscan-densebox/" + suffix,
                    RunMeta{dataset.name, "fdbscan-densebox", n},
-                   [=](benchmark::State&) {
-                     return fdbscan_densebox(*points, params);
+                   [engine, points, params](benchmark::State& state) {
+                     (void)points;
+                     state.counters["engine_warm"] =
+                         engine->grid_cached(params) ? 1.0 : 0.0;
+                     return engine->run_densebox(params);
                    });
       // Extra series beyond the paper's four: the Mr. Scan-style
       // core-first grid algorithm (§2.2).

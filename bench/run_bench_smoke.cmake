@@ -16,14 +16,22 @@
 #
 # Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, WORK_DIR.
 
+cmake_policy(SET CMP0057 NEW)  # IN_LIST operator in script mode
+
 set(SMOKE_BENCHES
   fig4_nsweep
+  fig4_minpts
   fig6_cosmo_minpts
   table_densefrac
   table_memory
   table_phases
   ablation_traversal
 )
+
+# Benches whose entries share an Engine: after the 1-vs-8 diff they are
+# additionally gated on the amortization contract (entries marked
+# engine_warm must report 0 index_rebuilds / workspace_reallocs).
+set(AMORTIZED_BENCHES fig4_minpts ablation_traversal)
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -76,6 +84,21 @@ foreach(bench ${SMOKE_BENCHES})
       "bench_smoke: 1-vs-8 worker counter drift in ${bench}\n${cmp_out}\n${cmp_err}")
   endif()
   message(STATUS "bench_smoke: ${bench} ok\n${cmp_out}")
+
+  if(bench IN_LIST AMORTIZED_BENCHES)
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --gate-amortized
+        ${WORK_DIR}/BENCH_${bench}_t1.json
+        ${WORK_DIR}/BENCH_${bench}_t8.json
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE amo_out
+      ERROR_VARIABLE amo_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: amortization gate failed in ${bench}\n${amo_out}\n${amo_err}")
+    endif()
+    message(STATUS "bench_smoke: ${bench} amortization ok\n${amo_out}")
+  endif()
 endforeach()
 
 # --- Traced run: trace validity + telemetry aggregates + overhead gate ---

@@ -3,7 +3,10 @@
 //   $ ./quickstart [n]
 //
 // Demonstrates the minimal public API: generate points, pick (eps,
-// minpts), call fdbscan(), inspect the Clustering result.
+// minpts), call the validated cluster() entry point, inspect the
+// Clustering result. cluster() returns Expected<Clustering, Error>:
+// malformed parameters come back as a typed error instead of garbage
+// labels (try eps = 0 to see the rejection path).
 #include <cstdio>
 #include <cstdlib>
 
@@ -19,7 +22,15 @@ int main(int argc, char** argv) {
   // minpts, the point itself included, makes x a core point).
   const fdbscan::Parameters params{0.01f, 10};
 
-  const auto clusters = fdbscan::fdbscan(points, params);
+  const auto result =
+      fdbscan::cluster(points, params, {}, fdbscan::Method::kFdbscan);
+  if (!result) {
+    std::fprintf(stderr, "invalid input [%s]: %s\n",
+                 fdbscan::error_code_name(result.error().code),
+                 result.error().message.c_str());
+    return 1;
+  }
+  const fdbscan::Clustering& clusters = *result;
 
   std::printf("points:    %lld\n", static_cast<long long>(n));
   std::printf("clusters:  %d\n", clusters.num_clusters);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "fdbscan.h"
+#include "fdbscan_baselines.h"
 
 int main(int argc, char** argv) {
   const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 16384;

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "core/clustering.h"
+#include "core/engine.h"
 #include "core/fdbscan.h"
 #include "core/fdbscan_densebox.h"
 #include "grid/dense_grid.h"
@@ -32,6 +34,38 @@ struct AutoSelectConfig {
   std::uint64_t seed = 0x5eed;
 };
 
+namespace detail {
+
+/// Draw m of [0, n) uniformly *without replacement* via a partial
+/// Fisher–Yates over a virtual identity array: only touched entries are
+/// materialized in a hash map, so the shuffle costs O(m) regardless of n.
+/// The index at each step is drawn with std::uniform_int_distribution —
+/// rejection-sampled, unlike the `rng() % range` it replaces, which both
+/// biased small indices (2^64 mod range leftovers) and, sampling *with*
+/// replacement, produced duplicate points that inflated cell occupancies
+/// and thus the dense-fraction estimate.
+inline std::vector<std::int64_t> sample_without_replacement(
+    std::int64_t n, std::int64_t m, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::unordered_map<std::int64_t, std::int64_t> displaced;
+  displaced.reserve(static_cast<std::size_t>(2 * m));
+  const auto at = [&](std::int64_t i) {
+    const auto it = displaced.find(i);
+    return it == displaced.end() ? i : it->second;
+  };
+  std::vector<std::int64_t> picks;
+  picks.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::uniform_int_distribution<std::int64_t> dist(i, n - 1);
+    const std::int64_t j = dist(rng);
+    picks.push_back(at(j));
+    displaced[j] = at(i);  // swap the "front" element into the used slot
+  }
+  return picks;
+}
+
+}  // namespace detail
+
 /// Estimated fraction of points lying in dense cells, from a subsample.
 /// The subsample sees proportionally fewer points per cell, so the
 /// occupancy threshold is scaled by the sampling ratio.
@@ -47,10 +81,9 @@ template <int DIM>
     sample = points;
   } else {
     sample.reserve(static_cast<std::size_t>(m));
-    std::mt19937_64 rng(config.seed);
-    for (std::int64_t i = 0; i < m; ++i) {
-      sample.push_back(points[static_cast<std::size_t>(
-          rng() % static_cast<std::uint64_t>(n))]);
+    for (const std::int64_t i :
+         detail::sample_without_replacement(n, m, config.seed)) {
+      sample.push_back(points[static_cast<std::size_t>(i)]);
     }
   }
   // A cell with k points in the full set holds ~k*m/n sample points:
@@ -71,22 +104,33 @@ struct AutoSelection {
   double estimated_dense_fraction = 0.0;
 };
 
-/// Runs FDBSCAN-DenseBox when the dense-cell population justifies the
-/// grid overhead, plain FDBSCAN otherwise. Results are identical either
-/// way (both implement the same specification); only performance differs.
+/// Heuristic dispatch running on an existing Engine: FDBSCAN-DenseBox
+/// when the dense-cell population justifies the grid overhead, plain
+/// FDBSCAN otherwise. Results are identical either way (both implement
+/// the same specification); only performance differs. Reuses the
+/// engine's cached indexes and workspace like any other run.
+template <int DIM>
+[[nodiscard]] AutoSelection<DIM> fdbscan_auto(
+    Engine<DIM>& engine, const Parameters& params, const Options& options = {},
+    const AutoSelectConfig& config = {}) {
+  AutoSelection<DIM> result;
+  result.estimated_dense_fraction =
+      estimate_dense_fraction(engine.points(), params, config);
+  result.used_densebox =
+      result.estimated_dense_fraction >= config.densebox_threshold;
+  result.clustering = result.used_densebox
+                          ? engine.run_densebox(params, options)
+                          : engine.run(params, options);
+  return result;
+}
+
+/// One-shot heuristic dispatch over a bare point set.
 template <int DIM>
 [[nodiscard]] AutoSelection<DIM> fdbscan_auto(
     const std::vector<Point<DIM>>& points, const Parameters& params,
     const Options& options = {}, const AutoSelectConfig& config = {}) {
-  AutoSelection<DIM> result;
-  result.estimated_dense_fraction =
-      estimate_dense_fraction(points, params, config);
-  result.used_densebox =
-      result.estimated_dense_fraction >= config.densebox_threshold;
-  result.clustering = result.used_densebox
-                          ? fdbscan_densebox(points, params, options)
-                          : fdbscan(points, params, options);
-  return result;
+  Engine<DIM> engine(points, EngineConfig{.memory = options.memory});
+  return fdbscan_auto(engine, params, options, config);
 }
 
 }  // namespace fdbscan

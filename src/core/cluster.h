@@ -1,0 +1,128 @@
+// Validated clustering entry point — the checked front door of the
+// library (satellite of DESIGN.md §9's engine redesign).
+//
+// The algorithm templates (fdbscan, fdbscan_densebox, Engine::run) trust
+// their inputs the way a kernel launch does: nothing checks eps or scans
+// for NaN, and malformed input silently yields a garbage clustering.
+// `cluster()` validates first and returns Expected<Clustering, Error>
+// (core/status.h), so application code gets a typed, diagnosable
+// rejection instead. The validation pass is itself a deterministic
+// parallel reduction, so it costs one O(n) sweep and never perturbs the
+// clustering's bit-determinism.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/auto_select.h"
+#include "core/clustering.h"
+#include "core/status.h"
+
+namespace fdbscan {
+
+/// Which algorithm cluster() dispatches to.
+enum class Method : std::uint8_t {
+  kAuto,      ///< dense-fraction heuristic (core/auto_select.h)
+  kFdbscan,   ///< always plain FDBSCAN
+  kDensebox,  ///< always FDBSCAN-DenseBox
+};
+
+namespace detail {
+
+/// Index of the first point with a non-finite coordinate, or n if all
+/// coordinates are finite. A deterministic min-reduction: the same index
+/// is reported at any worker count.
+template <int DIM>
+[[nodiscard]] std::int64_t first_non_finite(
+    const std::vector<Point<DIM>>& points) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  return exec::parallel_reduce(
+      "cluster/validate-points", n, n,
+      [&](std::int64_t i) {
+        const auto& p = points[static_cast<std::size_t>(i)];
+        for (int d = 0; d < DIM; ++d) {
+          if (!std::isfinite(p[d])) return i;
+        }
+        return n;
+      },
+      [](std::int64_t a, std::int64_t b) { return a < b ? a : b; });
+}
+
+}  // namespace detail
+
+/// Validates (params, options) against a point set. Returns an engaged
+/// optional on the *first* problem found, checking cheap scalar
+/// parameters before the O(n) coordinate scan.
+template <int DIM>
+[[nodiscard]] std::optional<Error> validate_input(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Options& options = {}) {
+  if (!(params.eps > 0.0f) || !std::isfinite(params.eps)) {
+    return Error{ErrorCode::kInvalidEps,
+                 "eps must be a finite positive number, got " +
+                     std::to_string(params.eps)};
+  }
+  if (params.minpts < 1) {
+    return Error{ErrorCode::kInvalidMinpts,
+                 "minpts must be >= 1, got " + std::to_string(params.minpts)};
+  }
+  const float f = options.densebox_cell_width_factor;
+  if (!(f > 0.0f) || !(f <= 1.0f)) {
+    // > 1 would break the cell-diameter <= eps invariant dense cells rely
+    // on (every pair inside one cell must be eps-close).
+    return Error{ErrorCode::kInvalidCellWidthFactor,
+                 "densebox_cell_width_factor must be in (0, 1], got " +
+                     std::to_string(f)};
+  }
+  const std::int64_t bad = detail::first_non_finite(points);
+  if (bad < static_cast<std::int64_t>(points.size())) {
+    return Error{ErrorCode::kNonFinitePoint,
+                 "point " + std::to_string(bad) +
+                     " has a non-finite coordinate"};
+  }
+  return std::nullopt;
+}
+
+/// Checked clustering: validates, then dispatches per `method`. On
+/// success the Clustering is exactly what the corresponding unchecked
+/// call would have produced (same kernels, bit-identical labels).
+template <int DIM>
+[[nodiscard]] Expected<Clustering> cluster(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Options& options = {}, Method method = Method::kAuto) {
+  if (auto error = validate_input(points, params, options)) {
+    return *std::move(error);
+  }
+  switch (method) {
+    case Method::kFdbscan:
+      return fdbscan(points, params, options);
+    case Method::kDensebox:
+      return fdbscan_densebox(points, params, options);
+    case Method::kAuto:
+      break;
+  }
+  return fdbscan_auto(points, params, options).clustering;
+}
+
+/// Checked clustering on an existing Engine (amortized index/workspace).
+template <int DIM>
+[[nodiscard]] Expected<Clustering> cluster(
+    Engine<DIM>& engine, const Parameters& params, const Options& options = {},
+    Method method = Method::kAuto) {
+  if (auto error = validate_input(engine.points(), params, options)) {
+    return *std::move(error);
+  }
+  switch (method) {
+    case Method::kFdbscan:
+      return engine.run(params, options);
+    case Method::kDensebox:
+      return engine.run_densebox(params, options);
+    case Method::kAuto:
+      break;
+  }
+  return fdbscan_auto(engine, params, options).clustering;
+}
+
+}  // namespace fdbscan

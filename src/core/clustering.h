@@ -62,6 +62,15 @@ struct PhaseTimings {
   exec::KernelPhaseProfile main_profile;
   exec::KernelPhaseProfile finalization_profile;
 
+  /// Amortization counters of the run (core/engine.h, DESIGN.md §9).
+  /// A one-shot free-function call reports one index build plus the
+  /// warmup workspace growths; a warmed Engine run reports zero of both
+  /// — the property the bench telemetry gates.
+  bool engine_run = false;          ///< run went through an Engine
+  std::int32_t index_rebuilds = 0;  ///< BVH constructions in this run
+  std::int32_t grid_cache_hits = 0;     ///< DenseGrid cache hits
+  std::int32_t workspace_reallocs = 0;  ///< workspace arena growths
+
   [[nodiscard]] double total() const noexcept {
     return index_construction + preprocessing + main + finalization;
   }
@@ -124,12 +133,14 @@ inline void resolve_pair(const UnionFindView& uf,
 /// finalized Clustering: noise points get kNoise and clusters are
 /// renumbered densely to [0, num_clusters). A point is noise iff it is
 /// not core and was never claimed (labels[i] == i); every cluster root is
-/// a core point with labels[root] == root.
-inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
-                                  std::vector<std::uint8_t>&& is_core) {
-  const auto n = static_cast<std::int64_t>(labels.size());
+/// a core point with labels[root] == root. `compact` is caller-provided
+/// scratch of n int32 (the Engine hands in a reused workspace slot so a
+/// warmed run allocates only the result vector); its contents on return
+/// are unspecified.
+inline Clustering finalize_labels_with_scratch(
+    const std::int32_t* labels, std::int64_t n,
+    std::vector<std::uint8_t>&& is_core, std::int32_t* compact) {
   // Rank the roots with an exclusive scan to obtain dense cluster ids.
-  std::vector<std::int32_t> compact(labels.size());
   exec::parallel_for("finalize/core-roots", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     compact[ui] = (labels[ui] == static_cast<std::int32_t>(i) &&
@@ -138,8 +149,8 @@ inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
                       : 0;
   });
   const std::int32_t num_clusters =
-      exec::exclusive_scan("finalize/cluster-rank", compact.data(), n);
-  std::vector<std::int32_t> out(labels.size());
+      exec::exclusive_scan("finalize/cluster-rank", compact, n);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n));
   exec::parallel_for("finalize/relabel", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     if (is_core[ui] == 0 && labels[ui] == static_cast<std::int32_t>(i)) {
@@ -153,6 +164,15 @@ inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
   result.is_core = std::move(is_core);
   result.num_clusters = num_clusters;
   return result;
+}
+
+/// Convenience overload owning its scratch — the baselines' path.
+inline Clustering finalize_labels(std::vector<std::int32_t>&& labels,
+                                  std::vector<std::uint8_t>&& is_core) {
+  const auto n = static_cast<std::int64_t>(labels.size());
+  std::vector<std::int32_t> compact(labels.size());
+  return finalize_labels_with_scratch(labels.data(), n, std::move(is_core),
+                                      compact.data());
 }
 
 }  // namespace detail

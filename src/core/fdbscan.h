@@ -15,15 +15,16 @@
 //   Finalization: pointer-jumping flatten + dense relabeling.
 //
 // Memory is O(n): neighbors are processed on the fly and never stored.
+//
+// The kernels live in Engine::run() (core/engine.h); this free function
+// is the one-shot convenience wrapper — it builds a throwaway engine, so
+// every call pays the index build. Callers clustering the same points
+// repeatedly (parameter sweeps, serving) should hold an Engine instead.
 #pragma once
 
 #include <vector>
 
-#include "bvh/bvh.h"
-#include "core/clustering.h"
-#include "exec/per_thread.h"
-#include "exec/profile.h"
-#include "geometry/point.h"
+#include "core/engine.h"
 
 namespace fdbscan {
 
@@ -31,102 +32,11 @@ template <int DIM>
 [[nodiscard]] Clustering fdbscan(const std::vector<Point<DIM>>& points,
                                  const Parameters& params,
                                  const Options& options = {}) {
-  const auto n = static_cast<std::int64_t>(points.size());
-  const float eps2 = params.eps * params.eps;
-  Clustering empty;
-  if (n == 0) return empty;
-
-  exec::ScopedCharge charge(
-      options.memory,
-      points.size() * (sizeof(std::int32_t) + sizeof(std::uint8_t)));
-  exec::PhaseProfiler timer;
-
-  Bvh<DIM> bvh(points);
-  exec::ScopedCharge bvh_charge(options.memory, bvh.bytes_used());
-  PhaseTimings timings;
-  timings.index_construction =
-      timer.lap("fdbscan/index", &timings.index_construction_profile);
-
-  // --- Preprocessing: determine core points -------------------------------
-  // Work counters accumulate into striped per-thread slots: a shared
-  // atomic here would serialize every traversal thread on one cache line.
-  exec::PerThread<TraversalStats> work;
-  std::vector<std::uint8_t> is_core(points.size(), 0);
-  if (params.minpts <= 1) {
-    // Degenerate density threshold: every point is core.
-    exec::parallel_for("fdbscan/pre/all-core", n, [&](std::int64_t i) {
-      is_core[static_cast<std::size_t>(i)] = 1;
-    });
-  } else if (params.minpts > 2) {
-    exec::parallel_for("fdbscan/pre/core-count", n, [&](std::int64_t i) {
-      const auto& x = points[static_cast<std::size_t>(i)];
-      std::int32_t count = 0;  // the traversal finds x itself at distance 0
-      TraversalStats stats;  // stack-local: increments stay in registers
-      bvh.for_each_near(
-          x, eps2, 0,
-          [&](std::int32_t, std::int32_t) {
-            ++count;
-            return (options.early_exit && count >= params.minpts)
-                       ? TraversalControl::kTerminate
-                       : TraversalControl::kContinue;
-          },
-          &stats);
-      if (count >= params.minpts) is_core[static_cast<std::size_t>(i)] = 1;
-      work.local() += stats;
-    });
-  }
-  timings.preprocessing =
-      timer.lap("fdbscan/pre", &timings.preprocessing_profile);
-
-  // --- Main phase: fused traversal + union-find ---------------------------
-  std::vector<std::int32_t> labels(points.size());
-  init_singletons(labels);
-  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
-  const bool fof = params.minpts == 2;  // Friends-of-Friends fast path
-
-  exec::parallel_for("fdbscan/main/traverse-union", n, [&](std::int64_t pos) {
-    // Threads are assigned sorted leaf positions (not raw ids) so that
-    // neighboring threads touch neighboring memory — the batched, low
-    // data-divergence launch of §3.2.
-    const std::int32_t x = bvh.primitive_at(static_cast<std::int32_t>(pos));
-    const auto& px = points[static_cast<std::size_t>(x)];
-    const std::int32_t mask =
-        options.masked_traversal ? static_cast<std::int32_t>(pos) + 1 : 0;
-    TraversalStats stats;
-    bvh.for_each_near(
-        px, eps2, mask,
-        [&](std::int32_t, std::int32_t y) {
-          if (y != x) {
-            if (fof) {
-              // Any eps-close pair consists of two core points (|N| >= 2).
-              exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
-                                         std::uint8_t{1});
-              exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
-                                         std::uint8_t{1});
-              uf.merge(x, y);
-            } else {
-              detail::resolve_pair(uf, is_core, x, y, options.variant);
-            }
-          }
-          return TraversalControl::kContinue;
-        },
-        &stats);
-    work.local() += stats;
-  });
-  timings.main = timer.lap("fdbscan/main", &timings.main_profile);
-
-  // --- Finalization --------------------------------------------------------
-  flatten(labels);
-  Clustering result =
-      detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization =
-      timer.lap("fdbscan/finalize", &timings.finalization_profile);
-  result.timings = timings;
-  const TraversalStats total_work = work.combine();
-  result.distance_computations = total_work.leaves_tested;
-  result.index_nodes_visited = total_work.nodes_visited;
-  if (options.memory) result.peak_memory_bytes = options.memory->peak();
-  return result;
+  // The engine charges the BVH and workspace to its own tracker; routing
+  // options.memory there keeps the one-shot accounting equivalent to the
+  // historical ScopedCharge scheme (charged for the call, released after).
+  Engine<DIM> engine(points, EngineConfig{.memory = options.memory});
+  return engine.run(params, options);
 }
 
 }  // namespace fdbscan

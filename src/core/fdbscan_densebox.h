@@ -13,16 +13,16 @@
 // dense box is resolved by scanning its members until one eps-close point
 // is found (a single witness suffices — all members share a cluster); a
 // discovered isolated point is resolved per Algorithm 3.
+//
+// The kernels live in Engine::run_densebox() (core/engine.h); this free
+// function is the one-shot convenience wrapper — every call rebuilds the
+// grid and mixed BVH. Callers re-clustering the same points should hold
+// an Engine, whose bundle cache skips the index phase on repeats.
 #pragma once
 
 #include <vector>
 
-#include "bvh/bvh.h"
-#include "core/clustering.h"
-#include "exec/per_thread.h"
-#include "exec/profile.h"
-#include "geometry/point.h"
-#include "grid/dense_grid.h"
+#include "core/engine.h"
 
 namespace fdbscan {
 
@@ -30,199 +30,8 @@ template <int DIM>
 [[nodiscard]] Clustering fdbscan_densebox(const std::vector<Point<DIM>>& points,
                                           const Parameters& params,
                                           const Options& options = {}) {
-  const auto n = static_cast<std::int64_t>(points.size());
-  const float eps2 = params.eps * params.eps;
-  if (n == 0) return {};
-
-  exec::ScopedCharge charge(
-      options.memory,
-      points.size() * (sizeof(std::int32_t) + sizeof(std::uint8_t)));
-  exec::PhaseProfiler timer;
-
-  // --- Index construction: grid, then BVH over mixed primitives -----------
-  const std::int32_t minpts_for_dense = std::max(params.minpts, std::int32_t{1});
-  DenseGrid<DIM> grid(points,
-                      GridSpec<DIM>::create(
-                          bounds_of(points.data(), points.size()), params.eps,
-                          options.densebox_cell_width_factor),
-                      minpts_for_dense);
-  const std::int32_t num_cells = grid.num_dense_cells();
-  const auto& cells = grid.cells();
-  const auto& perm = grid.permutation();
-  const std::int32_t dense_points = grid.points_in_dense_cells();
-  const auto num_isolated =
-      static_cast<std::int32_t>(n) - dense_points;  // points outside dense cells
-
-  exec::ScopedCharge grid_charge(
-      options.memory,
-      perm.size() * sizeof(std::int32_t) + cells.size() * sizeof(CellRange) +
-          grid.dense_cell_of().size() * sizeof(std::int32_t));
-
-  // Primitives: [0, num_cells) dense-cell boxes, then isolated points.
-  std::vector<Box<DIM>> primitives(
-      static_cast<std::size_t>(num_cells + num_isolated));
-  exec::parallel_for("densebox/index/cell-boxes", num_cells, [&](std::int64_t c) {
-    primitives[static_cast<std::size_t>(c)] =
-        grid.spec().cell_box(cells[static_cast<std::size_t>(c)].key);
-  });
-  std::vector<std::int32_t> isolated_ids(static_cast<std::size_t>(num_isolated));
-  exec::parallel_for("densebox/index/isolated-points", num_isolated, [&](std::int64_t k) {
-    const std::int32_t id =
-        perm[static_cast<std::size_t>(dense_points + k)];
-    isolated_ids[static_cast<std::size_t>(k)] = id;
-    const auto& p = points[static_cast<std::size_t>(id)];
-    primitives[static_cast<std::size_t>(num_cells + k)] = Box<DIM>{p, p};
-  });
-
-  Bvh<DIM> bvh(primitives);
-  exec::ScopedCharge bvh_charge(
-      options.memory,
-      bvh.bytes_used() + isolated_ids.size() * sizeof(std::int32_t));
-  PhaseTimings timings;
-  timings.index_construction =
-      timer.lap("densebox/index", &timings.index_construction_profile);
-
-  // --- Preprocessing -------------------------------------------------------
-  // Work accounting: explicit within() scans over dense-cell members plus
-  // every leaf-primitive bounds test (exact for point primitives, a
-  // box-distance test for dense-box primitives) count as distance
-  // computations; internal node tests count as index work. Tallies go
-  // into striped per-thread slots (leaves_tested absorbs the member
-  // scans) — never a shared atomic in the traversal loop.
-  exec::PerThread<TraversalStats> work;
-  std::vector<std::uint8_t> is_core(points.size(), 0);
-  exec::parallel_for("densebox/pre/dense-core", dense_points, [&](std::int64_t k) {
-    is_core[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = 1;
-  });
-  if (params.minpts <= 1) {
-    exec::parallel_for("densebox/pre/all-core", n, [&](std::int64_t i) {
-      is_core[static_cast<std::size_t>(i)] = 1;
-    });
-  } else if (params.minpts > 2) {
-    exec::parallel_for("densebox/pre/core-count", num_isolated, [&](std::int64_t k) {
-      const std::int32_t x = isolated_ids[static_cast<std::size_t>(k)];
-      const auto& px = points[static_cast<std::size_t>(x)];
-      std::int32_t count = 0;  // includes x itself (found as a primitive)
-      std::int64_t scans = 0;
-      TraversalStats stats;  // stack-local: increments stay in registers
-      bvh.for_each_near(
-          px, eps2, 0,
-          [&](std::int32_t, std::int32_t pid) {
-            if (pid < num_cells) {
-              const CellRange& cell = cells[static_cast<std::size_t>(pid)];
-              for (std::int32_t m = cell.begin; m < cell.end; ++m) {
-                const std::int32_t y = perm[static_cast<std::size_t>(m)];
-                ++scans;
-                if (within(px, points[static_cast<std::size_t>(y)], eps2)) {
-                  ++count;
-                  if (options.early_exit && count >= params.minpts) {
-                    return TraversalControl::kTerminate;
-                  }
-                }
-              }
-            } else {
-              ++count;  // point primitive: bounds test already was exact
-              if (options.early_exit && count >= params.minpts) {
-                return TraversalControl::kTerminate;
-              }
-            }
-            return TraversalControl::kContinue;
-          },
-          &stats);
-      if (count >= params.minpts) is_core[static_cast<std::size_t>(x)] = 1;
-      stats.leaves_tested += scans;
-      work.local() += stats;
-    });
-  }
-  timings.preprocessing =
-      timer.lap("densebox/pre", &timings.preprocessing_profile);
-
-  // --- Main phase -----------------------------------------------------------
-  std::vector<std::int32_t> labels(points.size());
-  init_singletons(labels);
-  UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
-  const bool fof = params.minpts == 2;
-
-  // Union every dense cell internally (all members are one cluster).
-  exec::parallel_for("densebox/main/cell-union", num_cells, [&](std::int64_t c) {
-    const CellRange& cell = cells[static_cast<std::size_t>(c)];
-    const std::int32_t first = perm[static_cast<std::size_t>(cell.begin)];
-    for (std::int32_t m = cell.begin + 1; m < cell.end; ++m) {
-      uf.merge(first, perm[static_cast<std::size_t>(m)]);
-    }
-  });
-
-  // Tree search for all points (dense-cell members included: they are the
-  // ones stitching adjacent cells together).
-  exec::parallel_for("densebox/main/traverse-union", n, [&](std::int64_t i) {
-    const auto x = static_cast<std::int32_t>(i);
-    const auto& px = points[static_cast<std::size_t>(x)];
-    const std::int32_t own_cell =
-        grid.dense_cell_of()[static_cast<std::size_t>(x)];
-    // Atomic: in the FoF path other threads set is_core[x] concurrently.
-    const bool xc =
-        exec::atomic_load_relaxed(is_core[static_cast<std::size_t>(x)]) != 0;
-    std::int64_t scans = 0;
-    TraversalStats stats;
-    bvh.for_each_near(
-        px, eps2, 0,
-        [&](std::int32_t, std::int32_t pid) {
-      if (pid < num_cells) {
-        if (pid == own_cell) return TraversalControl::kContinue;
-        const CellRange& cell = cells[static_cast<std::size_t>(pid)];
-        // One eps-close witness connects x to the whole (core) cell.
-        for (std::int32_t m = cell.begin; m < cell.end; ++m) {
-          const std::int32_t y = perm[static_cast<std::size_t>(m)];
-          ++scans;
-          if (within(px, points[static_cast<std::size_t>(y)], eps2)) {
-            if (fof && !xc) {
-              exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
-                                         std::uint8_t{1});
-              uf.merge(x, y);
-            } else if (xc || fof) {
-              uf.merge(x, y);
-            } else if (options.variant == Variant::kDbscan) {
-              uf.claim(x, y);
-            }
-            break;
-          }
-        }
-      } else {
-        const std::int32_t y = isolated_ids[static_cast<std::size_t>(pid - num_cells)];
-        if (y != x) {
-          if (fof) {
-            exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
-                                       std::uint8_t{1});
-            exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
-                                       std::uint8_t{1});
-            uf.merge(x, y);
-          } else {
-            detail::resolve_pair(uf, is_core, x, y, options.variant);
-          }
-        }
-      }
-      return TraversalControl::kContinue;
-        },
-        &stats);
-    stats.leaves_tested += scans;
-    work.local() += stats;
-  });
-  timings.main = timer.lap("densebox/main", &timings.main_profile);
-
-  // --- Finalization ---------------------------------------------------------
-  flatten(labels);
-  Clustering result =
-      detail::finalize_labels(std::move(labels), std::move(is_core));
-  timings.finalization =
-      timer.lap("densebox/finalize", &timings.finalization_profile);
-  result.timings = timings;
-  result.num_dense_cells = num_cells;
-  result.points_in_dense_cells = dense_points;
-  const TraversalStats total_work = work.combine();
-  result.distance_computations = total_work.leaves_tested;
-  result.index_nodes_visited = total_work.nodes_visited;
-  if (options.memory) result.peak_memory_bytes = options.memory->peak();
-  return result;
+  Engine<DIM> engine(points, EngineConfig{.memory = options.memory});
+  return engine.run_densebox(params, options);
 }
 
 }  // namespace fdbscan

@@ -1,0 +1,95 @@
+// Reusable kernel workspace — the allocation-amortization half of the
+// clustering Engine (core/engine.h, DESIGN.md §9).
+//
+// A Workspace is a small fixed set of slots, each backed by a grow-only
+// byte arena. Algorithms acquire a typed span per run instead of
+// constructing fresh std::vectors; after the first run at a given problem
+// size every acquire is a pointer cast, so repeated runs (parameter
+// sweeps, serving traffic) perform zero heap allocations for their O(n)
+// scratch. Growth events are counted (`reallocs()`) — the bench telemetry
+// gates that a warmed engine reports zero — and optionally charged to a
+// MemoryTracker so the simulated-device accounting sees the arena like
+// any other allocation.
+//
+// Contents are NOT preserved or zeroed between acquires: a slot is raw
+// scratch and every kernel must fully overwrite what it reads (the same
+// contract a freshly cudaMalloc'ed buffer has).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/memory_tracker.h"
+
+namespace fdbscan::exec {
+
+class Workspace {
+ public:
+  /// `num_slots` is fixed for the workspace lifetime; `memory` (optional)
+  /// is charged for the reserved arena bytes and released on destruction.
+  explicit Workspace(int num_slots, MemoryTracker* memory = nullptr)
+      : slots_(static_cast<std::size_t>(num_slots)), memory_(memory) {}
+
+  ~Workspace() {
+    if (memory_) memory_->release(bytes_reserved_);
+  }
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns a span of `count` T over slot `slot`, growing the backing
+  /// arena if needed (geometric growth; never shrinks). The span is valid
+  /// until the next acquire() on the same slot with a larger size, or the
+  /// workspace is destroyed. Contents are unspecified.
+  template <class T>
+  [[nodiscard]] std::span<T> acquire(int slot, std::size_t count) {
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    const std::size_t bytes = count * sizeof(T);
+    if (bytes > s.data.size() * sizeof(Unit)) grow(s, bytes);
+    return {reinterpret_cast<T*>(s.data.data()), count};
+  }
+
+  /// Cumulative number of arena growth events across all slots. A warmed
+  /// workspace (every slot at its high-water size) stops incrementing.
+  [[nodiscard]] std::int64_t reallocs() const noexcept { return reallocs_; }
+
+  /// Total bytes currently reserved across all slots.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
+
+ private:
+  using Unit = std::max_align_t;  // every slot is max-aligned
+
+  struct Slot {
+    std::vector<Unit> data;
+  };
+
+  void grow(Slot& s, std::size_t bytes) {
+    const std::size_t old_bytes = s.data.size() * sizeof(Unit);
+    // Geometric growth so an ascending size sweep costs O(log n) growth
+    // events, not one per run.
+    const std::size_t target = std::max(bytes, old_bytes * 2);
+    const std::size_t units = (target + sizeof(Unit) - 1) / sizeof(Unit);
+    // Charge before committing: if the budget rejects the growth the
+    // workspace is unchanged (the run unwinds like a failed cudaMalloc).
+    if (memory_) memory_->charge(units * sizeof(Unit) - old_bytes);
+    // One fresh allocation; old contents are deliberately not carried over
+    // (slot contents are unspecified between acquires).
+    std::vector<Unit> fresh(units);
+    s.data = std::move(fresh);
+    bytes_reserved_ += units * sizeof(Unit) - old_bytes;
+    ++reallocs_;
+  }
+
+  std::vector<Slot> slots_;
+  MemoryTracker* memory_;
+  std::size_t bytes_reserved_ = 0;
+  std::int64_t reallocs_ = 0;
+};
+
+}  // namespace fdbscan::exec

@@ -1,27 +1,29 @@
-// Umbrella header: the full public API of the fdbscan library.
+// Umbrella header: the production surface of the fdbscan library — the
+// paper's algorithms (FDBSCAN, FDBSCAN-DenseBox, auto-selection), the
+// reusable Engine, the validated cluster() entry point, and the
+// supporting index/exec/geometry modules.
 //
 //   #include <fdbscan.h>
 //   auto clusters = fdbscan::fdbscan(points, {.eps = 0.01f, .minpts = 5});
 //
-// Individual components can also be included directly (see README.md for
-// the module map).
+// The seven comparison baselines (G-DBSCAN, CUDA-DClust, ...) are NOT
+// exported here: they exist to reproduce the paper's tables, not to be
+// shipped. Include <fdbscan_baselines.h> to get them. Individual
+// components can also be included directly (see README.md for the
+// module map).
 #pragma once
 
-#include "baselines/cell_fof.h"         // IWYU pragma: export
-#include "baselines/cuda_dclust.h"      // IWYU pragma: export
-#include "baselines/dsdbscan.h"         // IWYU pragma: export
-#include "baselines/gdbscan.h"          // IWYU pragma: export
-#include "baselines/hybrid_gowanlock.h" // IWYU pragma: export
-#include "baselines/mr_scan.h"          // IWYU pragma: export
-#include "baselines/sequential_dbscan.h"  // IWYU pragma: export
 #include "bvh/bvh.h"                    // IWYU pragma: export
 #include "core/auto_select.h"           // IWYU pragma: export
+#include "core/cluster.h"               // IWYU pragma: export
 #include "core/clustering.h"            // IWYU pragma: export
 #include "core/emst.h"                  // IWYU pragma: export
+#include "core/engine.h"                // IWYU pragma: export
 #include "core/fdbscan.h"               // IWYU pragma: export
 #include "core/fdbscan_densebox.h"      // IWYU pragma: export
 #include "core/fdbscan_periodic.h"      // IWYU pragma: export
 #include "core/parameter_selection.h"   // IWYU pragma: export
+#include "core/status.h"                // IWYU pragma: export
 #include "core/validate.h"              // IWYU pragma: export
 #include "data/generators.h"            // IWYU pragma: export
 #include "data/io.h"                    // IWYU pragma: export
@@ -29,6 +31,7 @@
 #include "exec/memory_tracker.h"        // IWYU pragma: export
 #include "exec/parallel.h"              // IWYU pragma: export
 #include "exec/radix_sort.h"            // IWYU pragma: export
+#include "exec/workspace.h"             // IWYU pragma: export
 #include "geometry/box.h"               // IWYU pragma: export
 #include "geometry/morton.h"            // IWYU pragma: export
 #include "geometry/point.h"             // IWYU pragma: export

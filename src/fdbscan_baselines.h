@@ -1,0 +1,16 @@
+// Umbrella header: the comparison baselines of the paper's evaluation
+// (§5) — every algorithm FDBSCAN is benchmarked against. Split from
+// <fdbscan.h> so that production users do not pull in ~half the library
+// for algorithms that exist only to reproduce the paper's tables.
+//
+//   #include <fdbscan_baselines.h>
+//   auto ref = fdbscan::baselines::sequential_dbscan(points, params);
+#pragma once
+
+#include "baselines/cell_fof.h"           // IWYU pragma: export
+#include "baselines/cuda_dclust.h"        // IWYU pragma: export
+#include "baselines/dsdbscan.h"           // IWYU pragma: export
+#include "baselines/gdbscan.h"            // IWYU pragma: export
+#include "baselines/hybrid_gowanlock.h"   // IWYU pragma: export
+#include "baselines/mr_scan.h"            // IWYU pragma: export
+#include "baselines/sequential_dbscan.h"  // IWYU pragma: export

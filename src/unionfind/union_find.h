@@ -98,13 +98,14 @@ class UnionFindView {
 };
 
 /// Initialize labels to the singleton forest {0}, {1}, ..., {n-1}.
+inline void init_singletons(std::int32_t* labels, std::int32_t n) {
+  exec::parallel_for("union-find/init-singletons", n, [labels](std::int64_t i) {
+    labels[i] = static_cast<std::int32_t>(i);
+  });
+}
+
 inline void init_singletons(std::vector<std::int32_t>& labels) {
-  exec::parallel_for("union-find/init-singletons",
-                     static_cast<std::int64_t>(labels.size()),
-                     [&](std::int64_t i) {
-                       labels[static_cast<std::size_t>(i)] =
-                           static_cast<std::int32_t>(i);
-                     });
+  init_singletons(labels.data(), static_cast<std::int32_t>(labels.size()));
 }
 
 /// Finalization kernel: after this, labels[v] is the root of v's set for

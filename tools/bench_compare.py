@@ -15,6 +15,9 @@ bench_smoke ctest does, since it diffs runs at different thread counts).
 Usage:
   bench_compare.py [options] OLD.json NEW.json     compare two runs
   bench_compare.py --validate FILE [FILE...]       schema-check files
+  bench_compare.py --gate-amortized FILE [...]     check the Engine's
+                       amortization contract: entries marked engine_warm
+                       must report 0 index_rebuilds / workspace_reallocs
 
 Exit codes: 0 ok, 1 regression/drift found, 2 usage or schema error.
 
@@ -29,8 +32,13 @@ import sys
 SCHEMA_ID = "fdbscan-bench-telemetry-v1"
 
 # Counters that must be bit-exact across runs of the same configuration
-# (when the entry is marked deterministic).
-GATED_COUNTERS = ("dist_comps", "nodes_visited", "clusters", "noise")
+# (when the entry is marked deterministic). index_rebuilds and
+# workspace_reallocs / grid_cache_hits are the Engine's amortization
+# counters (DESIGN.md §9): entry order within a bench binary is fixed, so
+# how often a given entry rebuilds or grows is as deterministic as its
+# work counts.
+GATED_COUNTERS = ("dist_comps", "nodes_visited", "clusters", "noise",
+                  "index_rebuilds", "workspace_reallocs", "grid_cache_hits")
 
 PHASE_KEYS = ("index", "preprocess", "main", "finalize")
 
@@ -142,6 +150,37 @@ def kernel_deltas(o, n, top=3):
             for _, name, ov, nv in deltas[:top]]
 
 
+def gate_amortized(doc, path):
+    """Single-file gate over the Engine's amortization contract: every
+    entry whose bench body marked it engine_warm (the engine's index /
+    bundle cache was already populated BEFORE the run) must report zero
+    index rebuilds and zero workspace growths. Returns (violations,
+    warm_count); zero warm entries is itself a violation — a gate that
+    never fires is indistinguishable from a broken one."""
+    violations = []
+    warm = 0
+    for e in doc["entries"]:
+        if e.get("error"):
+            continue
+        counters = e["counters"]
+        if counters.get("engine_warm") != 1:
+            continue
+        warm += 1
+        for counter in ("index_rebuilds", "workspace_reallocs"):
+            if counter not in counters:
+                violations.append(
+                    f"{e['name']}: marked engine_warm but {counter} missing")
+            elif counters[counter] != 0:
+                violations.append(
+                    f"{e['name']}: warm engine run reports {counter}="
+                    f"{counters[counter]:g}, expected 0")
+    if warm == 0:
+        violations.append(
+            f"{path}: no engine_warm entries found — the amortization gate "
+            "is vacuous (did the benches stop sharing engines?)")
+    return violations, warm
+
+
 def wall_sum(doc):
     """Summed wall_ms over non-errored entries."""
     return sum(e["wall_ms"] for e in doc["entries"] if not e.get("error"))
@@ -213,6 +252,12 @@ def main(argv):
                         help="OLD NEW for comparison, or files for --validate")
     parser.add_argument("--validate", action="store_true",
                         help="only schema-check the given files")
+    parser.add_argument("--gate-amortized", action="store_true",
+                        help="single-file mode: check that every entry "
+                             "marked engine_warm reports zero index "
+                             "rebuilds and zero workspace reallocations "
+                             "(the Engine's amortization contract, "
+                             "DESIGN.md §9)")
     parser.add_argument("--counter-budget-pct", type=float, default=0.0,
                         help="allowed relative drift for the deterministic "
                              "counters (default 0: bit-exact)")
@@ -244,6 +289,19 @@ def main(argv):
             for path in args.files:
                 load(path)
                 print(f"ok: {path}")
+            return 0
+        if args.gate_amortized:
+            violations = []
+            for path in args.files:
+                file_violations, warm = gate_amortized(load(path), path)
+                violations.extend(file_violations)
+                print(f"{path}: {warm} engine_warm entries checked")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: all warm engine runs amortized "
+                  "(0 rebuilds, 0 reallocs)")
             return 0
         if len(args.files) != 2:
             parser.error("comparison needs exactly two files: OLD NEW")
