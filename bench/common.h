@@ -19,6 +19,12 @@
 //                            16 GB V100 at its much larger scale).
 //   FDBSCAN_NUM_THREADS      worker threads (default: hardware).
 //   FDBSCAN_BENCH_OUT        telemetry output path (telemetry.h).
+//   FDBSCAN_BENCH_CANCEL_TOKEN=1  installs an (uncancelled) CancelToken
+//                            around every entry body, so the per-chunk
+//                            cancellation polls are on the measured path.
+//                            A tokened run vs a plain run of the same
+//                            bench bounds the cancellation overhead
+//                            (bench_compare.py --wall-sum-budget-pct 2).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -26,11 +32,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/clustering.h"
 #include "data/generators.h"
+#include "exec/cancel.h"
 #include "exec/timer.h"
 #include "telemetry.h"
 
@@ -65,6 +73,11 @@ inline std::vector<std::int64_t> scaled_sweep(
     }
   }
   return sizes;
+}
+
+inline bool cancel_token_enabled() {
+  const char* env = std::getenv("FDBSCAN_BENCH_CANCEL_TOKEN");
+  return env != nullptr && env[0] == '1';
 }
 
 inline std::size_t device_memory_bytes() {
@@ -167,6 +180,11 @@ void register_run(const std::string& name, const RunMeta& meta, Fn fn) {
           const bool tracing = exec::trace_enabled();
           const exec::TraceCursor cursor =
               tracing ? exec::trace_cursor() : exec::TraceCursor{};
+          // FDBSCAN_BENCH_CANCEL_TOKEN=1: measure with the per-chunk
+          // cancellation polls active (token installed, never raised).
+          exec::CancelToken token;
+          std::optional<exec::CancelScope> cancel_scope;
+          if (cancel_token_enabled()) cancel_scope.emplace(token);
           exec::Timer timer;
           Clustering result;
           {
@@ -215,6 +233,9 @@ void register_custom(const std::string& name, const RunMeta& meta, Fn fn) {
           const bool tracing = exec::trace_enabled();
           const exec::TraceCursor cursor =
               tracing ? exec::trace_cursor() : exec::TraceCursor{};
+          exec::CancelToken token;
+          std::optional<exec::CancelScope> cancel_scope;
+          if (cancel_token_enabled()) cancel_scope.emplace(token);
           exec::Timer timer;
           {
             exec::TraceSpan span(

@@ -14,6 +14,17 @@
 # slack) of the untraced 8-worker run — the tracing overhead budget of
 # DESIGN.md §8.
 #
+# Then run fig4_nsweep once more with FDBSCAN_BENCH_CANCEL_TOKEN=1 (an
+# uncancelled CancelToken installed around every entry, putting the
+# per-chunk cancellation polls on the measured path): counters must stay
+# bit-exact and the summed wall time within 2% (+ slack) of the plain
+# 8-worker run — the cancellation-overhead budget of DESIGN.md §10.
+#
+# service_throughput (in SERVICE_BENCHES) is additionally gated on the
+# service contract: under-capacity closed loops reject nothing and build
+# one index per dataset; engineered overloads reject exactly their
+# overflow; terminal counts partition submitted.
+#
 # Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, WORK_DIR.
 
 cmake_policy(SET CMP0057 NEW)  # IN_LIST operator in script mode
@@ -26,12 +37,17 @@ set(SMOKE_BENCHES
   table_memory
   table_phases
   ablation_traversal
+  service_throughput
 )
 
 # Benches whose entries share an Engine: after the 1-vs-8 diff they are
 # additionally gated on the amortization contract (entries marked
 # engine_warm must report 0 index_rebuilds / workspace_reallocs).
 set(AMORTIZED_BENCHES fig4_minpts ablation_traversal)
+
+# Benches carrying "service" telemetry blocks: gated on the
+# ClusterService contract (tools/bench_compare.py --gate-service).
+set(SERVICE_BENCHES service_throughput)
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -98,6 +114,21 @@ foreach(bench ${SMOKE_BENCHES})
         "bench_smoke: amortization gate failed in ${bench}\n${amo_out}\n${amo_err}")
     endif()
     message(STATUS "bench_smoke: ${bench} amortization ok\n${amo_out}")
+  endif()
+
+  if(bench IN_LIST SERVICE_BENCHES)
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --gate-service
+        ${WORK_DIR}/BENCH_${bench}_t1.json
+        ${WORK_DIR}/BENCH_${bench}_t8.json
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE svc_out
+      ERROR_VARIABLE svc_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: service gate failed in ${bench}\n${svc_out}\n${svc_err}")
+    endif()
+    message(STATUS "bench_smoke: ${bench} service contract ok\n${svc_out}")
   endif()
 endforeach()
 
@@ -176,3 +207,39 @@ if(NOT rc EQUAL 0)
     "bench_smoke: tracing overhead gate failed for ${trace_bench}\n${cmp_out}\n${cmp_err}")
 endif()
 message(STATUS "bench_smoke: traced ${trace_bench} ok\n${cmp_out}")
+
+# --- Cancellation-overhead gate ------------------------------------------
+# The same bench with an (uncancelled) CancelToken installed around every
+# entry: the per-chunk token polls must cost <= 2% summed wall time and
+# must not perturb the deterministic work counters at all.
+
+set(cancel_bench fig4_nsweep)
+set(cancel_telemetry ${WORK_DIR}/BENCH_${cancel_bench}_cancel_token.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    FDBSCAN_BENCH_SCALE=0.02
+    FDBSCAN_NUM_THREADS=8
+    FDBSCAN_BENCH_OUT=${cancel_telemetry}
+    FDBSCAN_BENCH_DATE=smoke
+    FDBSCAN_BENCH_CANCEL_TOKEN=1
+    ${BENCH_DIR}/${cancel_bench}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: cancel-token ${cancel_bench} exited ${rc}\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} --skip-wall --wall-sum-budget-pct 2
+    ${WORK_DIR}/BENCH_${cancel_bench}_t8.json
+    ${cancel_telemetry}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE cmp_out
+  ERROR_VARIABLE cmp_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: cancellation overhead gate failed for ${cancel_bench}\n${cmp_out}\n${cmp_err}")
+endif()
+message(STATUS "bench_smoke: cancel-token ${cancel_bench} ok\n${cmp_out}")

@@ -89,9 +89,24 @@ void append_number(std::string& out, double v) {
 
 }  // namespace
 
+std::vector<std::pair<std::string, double>>& staged_service_block() {
+  static std::vector<std::pair<std::string, double>> block;
+  return block;
+}
+
 void record(TelemetryEntry entry) {
   std::lock_guard<std::mutex> lock(registry_mutex());
+  if (entry.service.empty() && !staged_service_block().empty()) {
+    entry.service = std::move(staged_service_block());
+    staged_service_block().clear();
+  }
   registry().push_back(std::move(entry));
+}
+
+void stage_service_block(
+    std::vector<std::pair<std::string, double>> service) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  staged_service_block() = std::move(service);
 }
 
 void set_binary_name(const char* argv0) {
@@ -182,6 +197,16 @@ std::string write_json() {
         out += "}";
       }
       out += "]";
+    }
+    if (!e.service.empty()) {
+      out += ",\n     \"service\": {";
+      for (std::size_t s = 0; s < e.service.size(); ++s) {
+        if (s > 0) out += ", ";
+        append_escaped(out, e.service[s].first);
+        out += ": ";
+        append_number(out, e.service[s].second);
+      }
+      out += "}";
     }
     if (!e.error.empty()) {
       out += ", \"error\": ";

@@ -71,6 +71,11 @@ struct TelemetryEntry {
   /// FDBSCAN_TRACE is active; empty otherwise). Serialized as the
   /// optional "kernels" array.
   std::vector<exec::KernelAggregate> kernels;
+  /// Service-level measurements (ClusterService benches only): terminal
+  /// request counts and latency summaries from ServiceMetrics, flattened
+  /// to name/value pairs. Serialized as the optional "service" object
+  /// when nonempty; tools/bench_compare.py --gate-service reads it.
+  std::vector<std::pair<std::string, double>> service;
   /// Nonempty when the run was skipped (e.g. simulated device OOM); such
   /// entries carry no comparable measurements.
   std::string error;
@@ -80,6 +85,11 @@ namespace telemetry {
 
 /// Records one entry into the process-wide registry (thread-safe).
 void record(TelemetryEntry entry);
+
+/// Stages a service block for the NEXT recorded entry (consumed by
+/// record()). Bench bodies call this from inside the entry, before
+/// register_custom builds and records the TelemetryEntry.
+void stage_service_block(std::vector<std::pair<std::string, double>> service);
 
 /// Derives the bench name (and default output file) from argv[0].
 void set_binary_name(const char* argv0);

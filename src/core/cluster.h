@@ -52,13 +52,12 @@ template <int DIM>
 
 }  // namespace detail
 
-/// Validates (params, options) against a point set. Returns an engaged
-/// optional on the *first* problem found, checking cheap scalar
-/// parameters before the O(n) coordinate scan.
-template <int DIM>
-[[nodiscard]] std::optional<Error> validate_input(
-    const std::vector<Point<DIM>>& points, const Parameters& params,
-    const Options& options = {}) {
+/// The scalar half of validate_input: checks (params, options) without
+/// touching the points. O(1) — the service layer runs this at submit
+/// time and defers the O(n) coordinate scan to the dispatcher (once per
+/// pooled dataset).
+[[nodiscard]] inline std::optional<Error> validate_parameters(
+    const Parameters& params, const Options& options = {}) {
   if (!(params.eps > 0.0f) || !std::isfinite(params.eps)) {
     return Error{ErrorCode::kInvalidEps,
                  "eps must be a finite positive number, got " +
@@ -76,6 +75,17 @@ template <int DIM>
                  "densebox_cell_width_factor must be in (0, 1], got " +
                      std::to_string(f)};
   }
+  return std::nullopt;
+}
+
+/// Validates (params, options) against a point set. Returns an engaged
+/// optional on the *first* problem found, checking cheap scalar
+/// parameters before the O(n) coordinate scan.
+template <int DIM>
+[[nodiscard]] std::optional<Error> validate_input(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const Options& options = {}) {
+  if (auto error = validate_parameters(params, options)) return error;
   const std::int64_t bad = detail::first_non_finite(points);
   if (bad < static_cast<std::int64_t>(points.size())) {
     return Error{ErrorCode::kNonFinitePoint,

@@ -37,6 +37,7 @@
 
 #include "bvh/bvh.h"
 #include "core/clustering.h"
+#include "exec/cancel.h"
 #include "exec/per_thread.h"
 #include "exec/profile.h"
 #include "exec/workspace.h"
@@ -435,6 +436,14 @@ class Engine {
   };
 
   RunSnapshot begin_run() {
+    // Fast-fail for requests whose token is already raised (pre-cancelled
+    // submits, zero deadlines): no kernel launches, no index work. A
+    // cancellation mid-run is safe for the engine — the union-find and
+    // compact scratch are workspace slots whose contents are unspecified
+    // between acquires and fully rewritten by every run, and the
+    // index/grid caches only publish fully-built entries — so a cancelled
+    // engine produces bit-identical results on its next run.
+    exec::throw_if_cancelled();
     ++counters_.runs;
     return {counters_.index_builds, counters_.grid_cache_hits,
             workspace_.reallocs()};

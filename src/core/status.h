@@ -19,12 +19,18 @@
 
 namespace fdbscan {
 
-/// Why an input was rejected.
+/// Why an input was rejected or a request did not complete. The first
+/// group is input validation (core/cluster.h); the second group is the
+/// serving surface (service/service.h).
 enum class ErrorCode : std::uint8_t {
   kInvalidEps,              ///< eps is not a finite positive number
   kInvalidMinpts,           ///< minpts < 1
   kNonFinitePoint,          ///< a coordinate is NaN or infinite
   kInvalidCellWidthFactor,  ///< densebox_cell_width_factor outside (0, 1]
+  kQueueFull,               ///< service request queue at capacity
+  kCancelled,               ///< request cancelled via its CancelToken
+  kDeadlineExceeded,        ///< request deadline elapsed before completion
+  kInternal,                ///< unexpected failure inside a dispatcher
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
@@ -33,6 +39,10 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kInvalidMinpts: return "InvalidMinpts";
     case ErrorCode::kNonFinitePoint: return "NonFinitePoint";
     case ErrorCode::kInvalidCellWidthFactor: return "InvalidCellWidthFactor";
+    case ErrorCode::kQueueFull: return "QueueFull";
+    case ErrorCode::kCancelled: return "Cancelled";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kInternal: return "Internal";
   }
   return "UnknownError";
 }

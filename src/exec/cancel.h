@@ -1,0 +1,112 @@
+// Cooperative cancellation for the data-parallel runtime.
+//
+// A CancelToken is a one-shot flag a controller thread raises to ask a
+// running request to stop. The runtime checks it at *chunk* granularity:
+// once a CancelScope installs a token on the dispatching thread, every
+// parallel_for/reduce/scan launched under it polls the token with one
+// relaxed load before claiming each chunk (and pays a single null-pointer
+// test per chunk when no token is installed). Cancellation therefore
+// lands within one chunk-quantum of the signal — the functor itself is
+// never interrupted mid-index, so kernels need no cancellation awareness.
+//
+// Unwinding contract: worker threads and nested launches never throw —
+// they simply stop claiming chunks. The CancelledError is raised exactly
+// once, on the dispatching user thread, after the launch has fully
+// drained (every worker parked, pool reusable). Data written by the
+// partial launch is unspecified, matching the workspace contract
+// (exec/workspace.h: slot contents are unspecified between acquires), so
+// an Engine whose run was cancelled stays valid and produces correct,
+// bit-identical results on the next run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fdbscan::exec {
+
+/// Why a token was raised. kNone means "not cancelled".
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kCancelled = 1,          ///< explicit request_cancel() by a controller
+  kDeadlineExceeded = 2,   ///< raised by a deadline watchdog
+};
+
+/// One-shot cancellation flag. Raising is a CAS so the *first* reason
+/// wins (a user cancel racing a deadline keeps the user's reason);
+/// polling is a single relaxed load. Safe to share across threads.
+class CancelToken {
+ public:
+  /// Raise the token. Returns true if this call was the first to raise
+  /// it; later calls (any reason) are no-ops.
+  bool request_cancel(CancelReason reason = CancelReason::kCancelled) noexcept {
+    std::uint8_t expected = 0;
+    return state_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(CancelReason::kNone);
+  }
+
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Re-arm a token for reuse. Only valid while no launch is polling it.
+  void reset() noexcept {
+    state_.store(static_cast<std::uint8_t>(CancelReason::kNone),
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint8_t> state_{
+      static_cast<std::uint8_t>(CancelReason::kNone)};
+};
+
+/// Thrown by the runtime on the dispatching thread when a launch observes
+/// its token raised. Carries the reason so callers can map it to
+/// ErrorCode::kCancelled vs kDeadlineExceeded.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(reason == CancelReason::kDeadlineExceeded
+                               ? "deadline exceeded"
+                               : "cancelled"),
+        reason_(reason) {}
+
+  [[nodiscard]] CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// RAII installer: makes `token` the active token of the calling thread
+/// for the scope's lifetime. Nested scopes shadow (and restore) the outer
+/// token. The token must outlive the scope. Install on the thread that
+/// *dispatches* kernels; workers inherit it per-launch.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token) noexcept;
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  const CancelToken* previous_;
+};
+
+/// The token installed on the calling thread (nullptr if none).
+[[nodiscard]] const CancelToken* active_cancel_token() noexcept;
+
+/// Throws CancelledError if the calling thread has a raised token AND is
+/// not inside a parallel region (workers must never throw — the runtime
+/// converts their cancellation into "stop claiming chunks"). Serial code
+/// paths that bypass the pool (e.g. the small-n scan fast path) call this
+/// to keep the chunk-quantum latency bound.
+void throw_if_cancelled();
+
+}  // namespace fdbscan::exec

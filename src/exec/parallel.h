@@ -5,6 +5,11 @@
 // Semantics contract (the "GPU contract"): the functor may be invoked for
 // the indices of [0, n) in any order and concurrently from multiple
 // threads. Any shared state it touches must go through exec/atomic.h.
+//
+// Cancellation (exec/cancel.h): when the dispatching thread has a
+// CancelToken installed via CancelScope, every primitive polls it once
+// per chunk and the dispatch throws CancelledError after draining. Output
+// ranges of a cancelled launch hold unspecified values.
 #pragma once
 
 #include <algorithm>
@@ -112,6 +117,9 @@ T exclusive_scan(const char* name, T* data, std::int64_t n) {
   auto& p = detail::pool();
   const int workers = p.workers();
   if (workers == 1 || n < 4096) {
+    // This serial path never enters the pool, so it polls the token
+    // itself to preserve the chunk-quantum cancellation latency bound.
+    throw_if_cancelled();
     T run{};
     for (std::int64_t i = 0; i < n; ++i) {
       T v = data[i];

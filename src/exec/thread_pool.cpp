@@ -38,6 +38,12 @@ std::atomic<detail::ThreadPool*> g_pool_raw{nullptr};
 thread_local int t_thread_index = 0;
 thread_local int t_parallel_depth = 0;
 
+// Active cancellation token of this thread (exec/cancel.h). Set by
+// CancelScope on dispatching threads; workers inherit the launch's token
+// for the duration of work() so nested inline launches inside the functor
+// observe it too.
+thread_local const CancelToken* t_cancel_token = nullptr;
+
 // --- Kernel profiling (see exec/profile.h) -------------------------------
 // Per-thread busy slots are padded to a cache line and written only by
 // their owning thread; snapshots read them with relaxed atomics.
@@ -100,6 +106,22 @@ void set_num_threads(int n) {
 int thread_index() noexcept { return t_thread_index; }
 
 bool in_parallel_region() noexcept { return t_parallel_depth > 0; }
+
+CancelScope::CancelScope(const CancelToken& token) noexcept
+    : previous_(t_cancel_token) {
+  t_cancel_token = &token;
+}
+
+CancelScope::~CancelScope() { t_cancel_token = previous_; }
+
+const CancelToken* active_cancel_token() noexcept { return t_cancel_token; }
+
+void throw_if_cancelled() {
+  const CancelToken* token = t_cancel_token;
+  if (token && token->cancelled() && t_parallel_depth == 0) {
+    throw CancelledError(token->reason());
+  }
+}
 
 KernelProfileSnapshot kernel_profile() {
   KernelProfileSnapshot snap;
@@ -177,18 +199,26 @@ void ThreadPool::work(std::uint64_t /*generation*/) {
   const std::int64_t grain = job_grain_;
   const char* name = job_name_;
   const auto& body = *job_body_;
+  const CancelToken* token = job_token_;
   const bool tracing = trace_enabled();
   const std::int64_t trace_begin = tracing ? trace_now_ns() : 0;
   std::int64_t my_chunks = 0;
   Timer busy;
+  // Workers inherit the dispatcher's token for this launch so nested
+  // inline launches inside the functor poll it too. Never throws here:
+  // a raised token only stops the chunk-claim loop.
+  const CancelToken* saved_token = t_cancel_token;
+  t_cancel_token = token;
   ++t_parallel_depth;
   for (;;) {
+    if (token && token->cancelled()) break;
     std::int64_t begin = atomic_fetch_add(job_next_, grain);
     if (begin >= n) break;
     body(begin, std::min(begin + grain, n));
     ++my_chunks;
   }
   --t_parallel_depth;
+  t_cancel_token = saved_token;
   profile_add_busy(busy.seconds());
   if (tracing && my_chunks > 0) {
     trace_record_kernel(name, trace_begin, trace_now_ns(), my_chunks,
@@ -201,6 +231,7 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
   if (n <= 0) return;
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = (n + grain - 1) / grain;
+  const CancelToken* token = t_cancel_token;
   const bool tracing = trace_enabled();
   const std::int64_t trace_begin = tracing ? trace_now_ns() : 0;
   if (t_parallel_depth > 0 || threads_.empty() || n <= grain) {
@@ -211,13 +242,23 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
     // fast path.
     Timer busy;
     ++t_parallel_depth;
-    for (std::int64_t b = 0; b < n; b += grain) body(b, std::min(b + grain, n));
+    for (std::int64_t b = 0; b < n; b += grain) {
+      if (token && token->cancelled()) break;
+      body(b, std::min(b + grain, n));
+    }
     --t_parallel_depth;
     profile_add_busy(busy.seconds());
     profile_add_launch(chunks);
     if (tracing) {
       trace_record_kernel(name, trace_begin, trace_now_ns(), chunks,
                           TraceKernelKind::kInline);
+    }
+    // Only the top level converts cancellation into an exception: a
+    // nested launch unwinding through a worker's functor would escape
+    // worker_loop and terminate. At depth 0 the pool is fully drained
+    // here, so the throw leaves the runtime reusable.
+    if (token && token->cancelled() && t_parallel_depth == 0) {
+      throw CancelledError(token->reason());
     }
     return;
   }
@@ -230,6 +271,7 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
     job_n_ = n;
     job_grain_ = grain;
     job_name_ = name;
+    job_token_ = token;
     job_next_ = 0;
     job_body_ = &body;
     active_ = static_cast<int>(threads_.size());
@@ -241,6 +283,7 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return active_ == 0; });
     job_body_ = nullptr;
+    job_token_ = nullptr;
   }
   profile_add_launch(chunks);
   if (tracing) {
@@ -250,6 +293,10 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
     trace_record_kernel(name, trace_begin, trace_now_ns(), chunks,
                         TraceKernelKind::kLaunch);
   }
+  // Pool fully drained (cv_done_ above): safe to surface the
+  // cancellation on the dispatching thread. Pooled dispatch only happens
+  // at depth 0, so this is always the top level.
+  if (token && token->cancelled()) throw CancelledError(token->reason());
 }
 
 }  // namespace detail

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.h"
+
 namespace fdbscan::exec {
 
 /// Number of worker threads used by parallel kernels. Defaults to
@@ -56,7 +58,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs body(begin, end) over contiguous chunks covering [0, n).
-  /// Blocks until all chunks are processed. `grain` is the chunk size;
+  /// Blocks until all chunks are processed — or, when the dispatching
+  /// thread has a CancelToken installed (exec/cancel.h) and it is raised,
+  /// until every participant has stopped claiming chunks, after which
+  /// CancelledError is thrown on the dispatching thread (only at the top
+  /// level: nested launches just stop). `grain` is the chunk size;
   /// chunk k covers [k*grain, min((k+1)*grain, n)) in every execution
   /// mode (pooled, serial, nested), which is what makes chunk-indexed
   /// reductions deterministic. `name` labels the launch for the tracing
@@ -95,6 +101,7 @@ class ThreadPool {
   std::int64_t job_n_ = 0;
   std::int64_t job_grain_ = 1;
   const char* job_name_ = nullptr;  // kernel label for tracing
+  const CancelToken* job_token_ = nullptr;  // dispatcher's token, or null
   alignas(64) std::int64_t job_next_ = 0;  // atomic chunk cursor
   const std::function<void(std::int64_t, std::int64_t)>* job_body_ = nullptr;
 };

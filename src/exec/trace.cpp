@@ -51,12 +51,20 @@ ThreadBuffer g_buffers[kMaxTraceThreads];
 std::atomic<std::uint64_t> g_capacity{0};  // events per thread, set once
 std::atomic<std::int64_t> g_dropped{0};
 
+// Dedicated slot of the calling thread (trace_register_thread), or -1 to
+// fall back to thread_index(). Registered slots are handed out downward
+// from the top of the slot space so they never collide with pool workers
+// (which occupy [0, num_threads)).
+thread_local int t_trace_slot = -1;
+std::atomic<int> g_next_registered_slot{kMaxTraceThreads - 1};
+
 std::mutex g_trace_mutex;  // guards path / interning / state transitions
 std::string g_trace_path;
 bool g_atexit_registered = false;
 
 std::deque<std::string> g_interned;
 std::unordered_map<std::string, const char*> g_interned_index;
+std::map<int, std::string> g_registered_names;  // slot -> track name
 
 std::uint64_t capacity_from_env() {
   std::uint64_t cap = std::uint64_t{1} << 18;  // 262144 events/thread
@@ -83,7 +91,7 @@ TraceEvent* ensure_buffer(ThreadBuffer& b) {
 }
 
 void record(const TraceEvent& ev) {
-  const int slot = thread_index();
+  const int slot = t_trace_slot >= 0 ? t_trace_slot : thread_index();
   if (slot < 0 || slot >= kMaxTraceThreads) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -222,6 +230,25 @@ std::int64_t trace_event_count() {
 
 std::int64_t trace_dropped_count() {
   return g_dropped.load(std::memory_order_relaxed);
+}
+
+int trace_register_thread(const char* name) {
+  if (t_trace_slot >= 0) return t_trace_slot;  // idempotent per thread
+  int slot = g_next_registered_slot.fetch_sub(1, std::memory_order_acq_rel);
+  // Keep the top half for registered tracks; below that we would risk
+  // colliding with pool-worker slots, so give the slot back and let the
+  // thread share track 0.
+  if (slot < kMaxTraceThreads / 2) {
+    g_next_registered_slot.fetch_add(1, std::memory_order_acq_rel);
+    return -1;
+  }
+  t_trace_slot = slot;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    g_registered_names[slot] = name && *name ? name : "registered";
+  }
+  if (trace_enabled()) ensure_buffer(g_buffers[slot]);
+  return slot;
 }
 
 const char* trace_intern(const std::string& name) {
@@ -389,11 +416,18 @@ std::string trace_flush() {
   meta(0, "process_name", "fdbscan");
 
   constexpr int kCounterTid = 9999;
+  std::map<int, std::string> registered;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    registered = g_registered_names;
+  }
   for (int tid = 0; tid < kMaxTraceThreads; ++tid) {
     if (per_tid[static_cast<std::size_t>(tid)].empty()) continue;
+    const auto it = registered.find(tid);
     meta(tid, "thread_name",
-         tid == 0 ? std::string("dispatcher (0)")
-                  : "worker " + std::to_string(tid));
+         it != registered.end() ? it->second
+         : tid == 0             ? std::string("dispatcher (0)")
+                                : "worker " + std::to_string(tid));
   }
   if (!counters.empty()) meta(kCounterTid, "thread_name", "counters");
 

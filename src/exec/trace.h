@@ -68,6 +68,17 @@ std::string trace_flush();
 /// the hot path; intended for once-per-entry labels (bench names).
 const char* trace_intern(const std::string& name);
 
+/// Give the calling thread a dedicated trace track named `name` (copied).
+/// By default every non-pool thread shares track 0 with the dispatcher;
+/// long-lived auxiliary threads that record their own spans — the service
+/// dispatchers — call this once at thread start so their events land on
+/// a separate, named track. Slots are assigned from the top of the slot
+/// space (downward from 255) to stay clear of pool workers. Idempotent
+/// per thread; returns the slot, or -1 when the slot space is exhausted
+/// (the thread then keeps using the shared track 0). Takes a lock — call
+/// at thread start, not on the hot path.
+int trace_register_thread(const char* name);
+
 /// How a kernel slice was produced (drives busy/wall attribution).
 enum class TraceKernelKind : std::uint8_t {
   kWorker = 0,  ///< one thread's participation in a pooled launch (busy)

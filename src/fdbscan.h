@@ -28,10 +28,12 @@
 #include "data/generators.h"            // IWYU pragma: export
 #include "data/io.h"                    // IWYU pragma: export
 #include "distributed/distributed_dbscan.h"  // IWYU pragma: export
+#include "exec/cancel.h"                // IWYU pragma: export
 #include "exec/memory_tracker.h"        // IWYU pragma: export
 #include "exec/parallel.h"              // IWYU pragma: export
 #include "exec/radix_sort.h"            // IWYU pragma: export
 #include "exec/workspace.h"             // IWYU pragma: export
+#include "service/service.h"            // IWYU pragma: export
 #include "geometry/box.h"               // IWYU pragma: export
 #include "geometry/morton.h"            // IWYU pragma: export
 #include "geometry/point.h"             // IWYU pragma: export

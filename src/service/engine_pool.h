@@ -1,0 +1,205 @@
+// Warm-engine cache for the clustering service (DESIGN.md §10).
+//
+// The service keys engines by a caller-chosen dataset id: every request
+// naming the same id reuses one fdbscan::Engine, so the point BVH is
+// built once per dataset (index_rebuilds == 1 in telemetry) and the
+// DenseBox bundle cache and workspace arena stay warm across requests.
+//
+// Concurrency rules:
+//   * An Engine supports one run at a time (engine.h). The pool enforces
+//     this with a per-entry run mutex: acquire() returns a Lease that
+//     holds the lock, so concurrent requests against one dataset
+//     serialize on the warm engine instead of each building a cold one.
+//     Requests against distinct datasets run fully in parallel.
+//   * Eviction is LRU over entries with no lease outstanding. An entry
+//     that is leased is never destroyed under the caller — the pool may
+//     temporarily exceed its capacity when every resident engine is busy
+//     rather than block or evict a live engine.
+//
+// The pool is type-erased (the service is not templated on DIM): entries
+// hold shared_ptr<void> produced by a caller factory, and a counters
+// accessor so dataset_stats() can report per-dataset amortization
+// without knowing the concrete Engine<DIM>.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace fdbscan::service {
+
+struct EnginePoolStats {
+  std::int64_t engines = 0;    ///< currently resident entries
+  std::int64_t hits = 0;       ///< acquires that found a warm engine
+  std::int64_t misses = 0;     ///< acquires that built a fresh engine
+  std::int64_t evictions = 0;  ///< entries dropped by the LRU policy
+};
+
+/// Per-dataset amortization counters (from EngineCounters), exported
+/// into the service telemetry block.
+struct DatasetStats {
+  std::string id;
+  int dim = 0;
+  std::int64_t runs = 0;
+  std::int64_t index_builds = 0;
+  std::int64_t grid_cache_hits = 0;
+};
+
+class EnginePool {
+  struct Entry {
+    std::string id;
+    int dim = 0;
+    std::shared_ptr<void> engine;  // keeps the points alive via its holder
+    EngineCounters (*counters)(const void*) = nullptr;
+    std::mutex run_mutex;  // one run at a time per engine
+    bool validated = false;  // O(n) coordinate scan done for these points
+    int active = 0;          // leases outstanding (guarded by pool mutex_)
+    std::uint64_t last_used = 0;
+  };
+
+ public:
+  explicit EnginePool(std::int32_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  /// Exclusive use of one dataset's engine: holds the entry's run mutex
+  /// (and a liveness reference) until destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(std::shared_ptr<Entry> entry, EnginePool* pool)
+        : entry_(std::move(entry)), pool_(pool), lock_(entry_->run_mutex) {}
+    Lease(Lease&&) = default;
+    // No move-assign: overwriting a live lease would skip its active-count
+    // release. Construct fresh leases instead.
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (entry_ && pool_) {
+        lock_.unlock();
+        std::lock_guard<std::mutex> guard(pool_->mutex_);
+        --entry_->active;
+      }
+    }
+
+    [[nodiscard]] void* engine() const noexcept { return entry_->engine.get(); }
+
+    /// Whether the O(n) coordinate scan already ran for this dataset.
+    /// Callers flip it after a successful scan; guarded by the lease
+    /// (only the lease holder may touch the entry's run state).
+    [[nodiscard]] bool validated() const noexcept { return entry_->validated; }
+    void set_validated() noexcept { entry_->validated = true; }
+
+   private:
+    std::shared_ptr<Entry> entry_;
+    EnginePool* pool_ = nullptr;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Lease the engine for dataset `id`, building it via `make_engine` on
+  /// a miss. Blocks while another lease on the same dataset is live (the
+  /// per-engine serialization rule). `counters` must read the
+  /// EngineCounters out of the opaque engine produced by `make_engine`.
+  Lease acquire(const std::string& id, int dim,
+                const std::function<std::shared_ptr<void>()>& make_engine,
+                EngineCounters (*counters)(const void*)) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto it = entries_.find(id);
+      bool fresh = false;
+      if (it != entries_.end() && it->second->dim == dim) {
+        entry = it->second;
+        ++stats_.hits;
+      } else {
+        if (it != entries_.end()) {
+          // Same id resubmitted at a different dimension: replace.
+          entries_.erase(it);
+          ++stats_.evictions;
+        }
+        entry = std::make_shared<Entry>();
+        entry->id = id;
+        entry->dim = dim;
+        entry->engine = make_engine();
+        entry->counters = counters;
+        entries_.emplace(id, entry);
+        ++stats_.misses;
+        fresh = true;
+      }
+      // Touch and pin BEFORE any eviction pass: a fresh entry still at
+      // last_used == 0 / active == 0 would otherwise be its own victim.
+      entry->last_used = ++clock_;
+      ++entry->active;
+      if (fresh) evict_locked();
+    }
+    // Taking the run mutex outside the pool lock: a long run on one
+    // dataset must not block acquires for other datasets.
+    return Lease(std::move(entry), this);
+  }
+
+  [[nodiscard]] EnginePoolStats stats() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    EnginePoolStats s = stats_;
+    s.engines = static_cast<std::int64_t>(entries_.size());
+    return s;
+  }
+
+  /// Per-dataset counters for resident engines, sorted by id. Takes each
+  /// entry's run mutex (EngineCounters is mutated by runs), so this
+  /// briefly serializes against in-flight runs — call from telemetry
+  /// paths, ideally after the service is idle.
+  [[nodiscard]] std::vector<DatasetStats> dataset_stats() {
+    std::vector<std::shared_ptr<Entry>> snapshot;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      snapshot.reserve(entries_.size());
+      for (const auto& [id, entry] : entries_) snapshot.push_back(entry);
+    }
+    std::vector<DatasetStats> out;
+    out.reserve(snapshot.size());
+    for (const auto& entry : snapshot) {
+      std::lock_guard<std::mutex> run_guard(entry->run_mutex);
+      const EngineCounters c = entry->counters(entry->engine.get());
+      out.push_back(DatasetStats{entry->id, entry->dim, c.runs,
+                                 c.index_builds, c.grid_cache_hits});
+    }
+    return out;
+  }
+
+ private:
+  // Must hold mutex_. Evicts least-recently-used idle entries until the
+  // pool fits its capacity; leased entries are skipped (temporary
+  // overflow beats destroying an engine under a running request).
+  void evict_locked() {
+    while (entries_.size() > static_cast<std::size_t>(capacity_)) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second->active > 0) continue;
+        if (victim == entries_.end() ||
+            it->second->last_used < victim->second->last_used) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;  // every entry is leased
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+  }
+
+  const std::int32_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  EnginePoolStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace fdbscan::service

@@ -1,0 +1,266 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "exec/trace.h"
+
+namespace fdbscan::service {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+// wd_heap_ comparator: std::push_heap/pop_heap build a max-heap, so
+// "greater begin_ns first" yields the earliest deadline at the front.
+bool later_deadline(
+    const std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>& a,
+    const std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>& b) {
+  return a.first > b.first;
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig config;
+  config.queue_capacity =
+      env_int("FDBSCAN_SERVICE_QUEUE_CAP", config.queue_capacity);
+  config.dispatchers =
+      env_int("FDBSCAN_SERVICE_DISPATCHERS", config.dispatchers);
+  return config;
+}
+
+ClusterService::ClusterService(const ServiceConfig& config)
+    : config_(config), pool_(std::max<std::int32_t>(1, config.engine_capacity)) {
+  config_.queue_capacity = std::max<std::int32_t>(1, config_.queue_capacity);
+  config_.dispatchers = std::max<std::int32_t>(1, config_.dispatchers);
+  config_.engine_capacity = std::max<std::int32_t>(1, config_.engine_capacity);
+  dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
+  for (int i = 0; i < config_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+ClusterService::~ClusterService() {
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    leftover.swap(queue_);
+  }
+  cv_queue_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(wd_mutex_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Requests still queued at shutdown never ran; their futures must not
+  // dangle. They resolve to kCancelled after the dispatchers are gone.
+  for (Request& req : leftover) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_value(
+        Error{ErrorCode::kCancelled, "service destroyed before the request ran"});
+  }
+}
+
+void ClusterService::enqueue(Request req, double deadline_ms) {
+  req.submit_ns = exec::trace_now_ns();
+  if (deadline_ms <= 0.0) {
+    // Fail fast: the deadline elapsed before the request existed. No
+    // queue slot, no kernel launch.
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    req.token->request_cancel(exec::CancelReason::kDeadlineExceeded);
+    req.promise.set_value(Error{ErrorCode::kDeadlineExceeded,
+                                "deadline_ms <= 0: deadline elapsed before "
+                                "submission"});
+    return;
+  }
+  const bool has_deadline = deadline_ms != kNoDeadline;
+  const std::int64_t deadline_ns =
+      has_deadline
+          ? req.submit_ns + static_cast<std::int64_t>(deadline_ms * 1e6)
+          : 0;
+  std::weak_ptr<exec::CancelToken> wd_token = req.token;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(
+          Error{ErrorCode::kCancelled, "service is shutting down"});
+      return;
+    }
+    if (static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(Error{
+          ErrorCode::kQueueFull,
+          "request queue at capacity (" +
+              std::to_string(config_.queue_capacity) + ")"});
+      return;
+    }
+    queue_.push_back(std::move(req));
+  }
+  cv_queue_.notify_one();
+  if (has_deadline) {
+    bool new_front = false;
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex_);
+      new_front = wd_heap_.empty() || deadline_ns < wd_heap_.front().first;
+      wd_heap_.emplace_back(deadline_ns, std::move(wd_token));
+      std::push_heap(wd_heap_.begin(), wd_heap_.end(), later_deadline);
+    }
+    if (new_front) wd_cv_.notify_one();
+  }
+}
+
+void ClusterService::dispatcher_loop(int index) {
+  exec::trace_register_thread(
+      ("service dispatcher " + std::to_string(index)).c_str());
+  // Floor for this dispatcher's trace spans: a queue-wait span reaches
+  // back to its request's submit time, which may overlap the previous
+  // request's run on this track — clamp to keep per-track slices
+  // non-overlapping (the metrics histograms record the true wait).
+  std::int64_t track_floor_ns = exec::trace_now_ns();
+  for (;;) {
+    std::optional<Request> req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      cv_queue_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      req.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+      ++active_;
+    }
+    process(*req, track_floor_ns);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
+  const std::int64_t start_ns = exec::trace_now_ns();
+  queue_wait_.add(start_ns - req.submit_ns);
+  if (exec::trace_enabled()) {
+    exec::trace_record_span("service/queue-wait",
+                            std::max(req.submit_ns, track_floor_ns), start_ns,
+                            "service");
+  }
+
+  ServiceResult result = run_request(req);
+
+  const std::int64_t end_ns = exec::trace_now_ns();
+  run_time_.add(end_ns - start_ns);
+  if (exec::trace_enabled()) {
+    exec::trace_record_span("service/run", start_ns, end_ns, "service");
+  }
+  track_floor_ns = end_ns;
+
+  if (result.has_value()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    switch (result.error().code) {
+      case ErrorCode::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  req.promise.set_value(std::move(result));
+}
+
+ServiceResult ClusterService::run_request(Request& req) {
+  try {
+    // The token governs everything from here: engine construction, the
+    // one-time coordinate scan and the run itself all dispatch kernels
+    // under this scope, so a raised token unwinds out of any of them
+    // within one chunk-quantum.
+    exec::CancelScope scope(*req.token);
+    exec::throw_if_cancelled();  // raised while queued: skip all work
+    EnginePool::Lease lease =
+        pool_.acquire(req.dataset_id, req.dim, req.make_engine, req.counters);
+    if (!lease.validated()) {
+      exec::throw_if_cancelled();
+      if (auto error = req.scan(lease.engine())) return *std::move(error);
+      lease.set_validated();
+    }
+    return req.run(lease.engine(), req.params, req.options, req.method);
+  } catch (const exec::CancelledError& e) {
+    const bool deadline =
+        e.reason() == exec::CancelReason::kDeadlineExceeded;
+    return Error{deadline ? ErrorCode::kDeadlineExceeded
+                          : ErrorCode::kCancelled,
+                 e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal,
+                 std::string("dispatcher caught: ") + e.what()};
+  }
+}
+
+void ClusterService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(wd_mutex_);
+  for (;;) {
+    if (wd_stop_) return;
+    if (wd_heap_.empty()) {
+      wd_cv_.wait(lock, [&] { return wd_stop_ || !wd_heap_.empty(); });
+      continue;
+    }
+    const std::int64_t due_ns = wd_heap_.front().first;
+    const std::int64_t now_ns = exec::trace_now_ns();
+    if (now_ns >= due_ns) {
+      std::pop_heap(wd_heap_.begin(), wd_heap_.end(), later_deadline);
+      std::weak_ptr<exec::CancelToken> weak = std::move(wd_heap_.back().second);
+      wd_heap_.pop_back();
+      if (auto token = weak.lock()) {
+        // First reason wins inside the token: a user cancel that raced
+        // us keeps kCancelled.
+        token->request_cancel(exec::CancelReason::kDeadlineExceeded);
+      }
+      continue;
+    }
+    wd_cv_.wait_for(lock, std::chrono::nanoseconds(due_ns - now_ns));
+  }
+}
+
+void ClusterService::wait_idle() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+ServiceMetrics ClusterService::metrics() const {
+  ServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    m.queued = static_cast<std::int64_t>(queue_.size());
+    m.active = active_;
+  }
+  m.queue_wait = queue_wait_.snapshot();
+  m.run_time = run_time_.snapshot();
+  return m;
+}
+
+}  // namespace fdbscan::service

@@ -1,0 +1,316 @@
+// In-process clustering service (DESIGN.md §10): admission control,
+// deadlines and cancellation on top of the Engine.
+//
+// ClusterService turns the blocking one-shot entry points into a serving
+// surface: submit() validates scalar parameters, enqueues the request
+// into a *bounded* MPMC queue (a full queue rejects immediately with
+// Error{kQueueFull} — backpressure instead of unbounded growth) and
+// returns a std::future<Expected<Clustering, Error>>. N dispatcher
+// threads drain the queue into runs on pooled warm engines
+// (service/engine_pool.h): requests naming the same dataset id reuse one
+// Engine — one BVH build per dataset — and serialize on it, while
+// distinct datasets run concurrently.
+//
+// Deadlines and cancellation ride on exec/cancel.h: every request gets a
+// CancelToken (caller-supplied or service-created), a watchdog thread
+// raises it with kDeadlineExceeded when the request's deadline elapses
+// (the deadline covers queue wait + run), and the runtime polls the
+// token once per chunk — a cancelled request unwinds within one
+// chunk-quantum, its engine stays warm and reusable, and the future
+// resolves to Error{kCancelled | kDeadlineExceeded}.
+//
+// Knobs: FDBSCAN_SERVICE_QUEUE_CAP and FDBSCAN_SERVICE_DISPATCHERS seed
+// ServiceConfig::from_env().
+//
+// Caveat: per-request Options::memory trackers are not thread-safe; do
+// not share one MemoryTracker across requests that may run concurrently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.h"
+#include "exec/cancel.h"
+#include "service/engine_pool.h"
+
+namespace fdbscan::service {
+
+/// Sentinel for "no deadline" in SubmitOptions::deadline_ms.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+struct ServiceConfig {
+  /// Maximum queued (not yet dispatched) requests; a full queue rejects
+  /// with kQueueFull. Env: FDBSCAN_SERVICE_QUEUE_CAP.
+  std::int32_t queue_capacity = 64;
+  /// Dispatcher threads draining the queue. Env:
+  /// FDBSCAN_SERVICE_DISPATCHERS.
+  std::int32_t dispatchers = 2;
+  /// Engine-pool LRU capacity (warm datasets kept resident).
+  std::int32_t engine_capacity = 8;
+
+  /// Defaults overridden by the FDBSCAN_SERVICE_* environment knobs.
+  [[nodiscard]] static ServiceConfig from_env();
+};
+
+/// Log2-bucketed latency distribution. Bucket i counts samples whose
+/// duration in microseconds lies in [2^(i-1), 2^i) (bucket 0: < 1 us;
+/// the last bucket absorbs everything larger).
+inline constexpr int kLatencyBuckets = 24;
+
+struct LatencySummary {
+  std::int64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+  std::array<std::int64_t, kLatencyBuckets> buckets{};
+
+  [[nodiscard]] double mean_ms() const {
+    return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Snapshot of the service counters. Terminal-state counts partition the
+/// finished requests: every submitted request ends in exactly one of
+/// completed / rejected / cancelled / deadline_exceeded / failed, so
+/// after wait_idle() `submitted` equals their sum.
+struct ServiceMetrics {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;           ///< kQueueFull at admission
+  std::int64_t cancelled = 0;          ///< kCancelled (token or shutdown)
+  std::int64_t deadline_exceeded = 0;  ///< kDeadlineExceeded
+  std::int64_t failed = 0;             ///< validation or internal errors
+  std::int64_t queued = 0;             ///< instantaneous queue depth
+  std::int64_t active = 0;             ///< requests inside a dispatcher
+  LatencySummary queue_wait;           ///< submit -> dispatch
+  LatencySummary run_time;             ///< dispatch -> future resolved
+};
+
+struct SubmitOptions {
+  Options options{};
+  Method method = Method::kAuto;
+  /// Total latency budget (queue wait + run) in milliseconds, enforced
+  /// by the watchdog. kNoDeadline disables it; a value <= 0 fails fast
+  /// with kDeadlineExceeded before any kernel runs.
+  double deadline_ms = kNoDeadline;
+  /// Caller-held cancellation handle; the service creates a private one
+  /// when absent. request_cancel() resolves the future with kCancelled
+  /// within one chunk-quantum if the request is running.
+  std::shared_ptr<exec::CancelToken> token{};
+};
+
+using ServiceResult = Expected<Clustering, Error>;
+
+namespace detail {
+
+/// Pool-entry payload: the engine plus the shared ownership of its
+/// points (Engine borrows the vector — the holder is what keeps it
+/// alive for the engine's whole pooled lifetime).
+template <int DIM>
+struct EngineHolder {
+  std::shared_ptr<const std::vector<Point<DIM>>> points;
+  Engine<DIM> engine;
+
+  explicit EngineHolder(std::shared_ptr<const std::vector<Point<DIM>>> pts)
+      : points(std::move(pts)), engine(*points) {}
+};
+
+template <int DIM>
+EngineCounters counters_typed(const void* holder) {
+  return static_cast<const EngineHolder<DIM>*>(holder)->engine.counters();
+}
+
+template <int DIM>
+std::optional<Error> scan_typed(const void* holder) {
+  const auto* h = static_cast<const EngineHolder<DIM>*>(holder);
+  const auto n = static_cast<std::int64_t>(h->points->size());
+  const std::int64_t bad = fdbscan::detail::first_non_finite(*h->points);
+  if (bad < n) {
+    return Error{ErrorCode::kNonFinitePoint,
+                 "point " + std::to_string(bad) +
+                     " has a non-finite coordinate"};
+  }
+  return std::nullopt;
+}
+
+template <int DIM>
+Clustering run_typed(void* holder, const Parameters& params,
+                     const Options& options, Method method) {
+  auto* h = static_cast<EngineHolder<DIM>*>(holder);
+  switch (method) {
+    case Method::kFdbscan: return h->engine.run(params, options);
+    case Method::kDensebox: return h->engine.run_densebox(params, options);
+    case Method::kAuto: break;
+  }
+  return fdbscan_auto(h->engine, params, options).clustering;
+}
+
+}  // namespace detail
+
+class ClusterService {
+ public:
+  explicit ClusterService(const ServiceConfig& config = ServiceConfig::from_env());
+  ~ClusterService();
+
+  ClusterService(const ClusterService&) = delete;
+  ClusterService& operator=(const ClusterService&) = delete;
+
+  /// Submit a clustering request against dataset `dataset_id`. The
+  /// service shares ownership of `points` for as long as the dataset's
+  /// engine stays pooled; all submits naming one id must pass the same
+  /// points. Scalar parameters are validated here (immediate error
+  /// future); the O(n) coordinate scan runs on a dispatcher, once per
+  /// pooled dataset. Never blocks on a full queue — it rejects.
+  template <int DIM>
+  [[nodiscard]] std::future<ServiceResult> submit(
+      const std::string& dataset_id,
+      std::shared_ptr<const std::vector<Point<DIM>>> points,
+      const Parameters& params, SubmitOptions submit = {}) {
+    std::promise<ServiceResult> promise;
+    std::future<ServiceResult> future = promise.get_future();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (!points) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(Error{ErrorCode::kInternal, "points must not be null"});
+      return future;
+    }
+    if (auto error = validate_parameters(params, submit.options)) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(*std::move(error));
+      return future;
+    }
+    Request req;
+    req.dataset_id = dataset_id;
+    req.dim = DIM;
+    req.params = params;
+    req.options = submit.options;
+    req.method = submit.method;
+    req.token = submit.token ? std::move(submit.token)
+                             : std::make_shared<exec::CancelToken>();
+    req.promise = std::move(promise);
+    req.make_engine = [points]() -> std::shared_ptr<void> {
+      return std::make_shared<detail::EngineHolder<DIM>>(points);
+    };
+    req.counters = &detail::counters_typed<DIM>;
+    req.scan = &detail::scan_typed<DIM>;
+    req.run = &detail::run_typed<DIM>;
+    enqueue(std::move(req), submit.deadline_ms);
+    return future;
+  }
+
+  /// Blocks until the queue is empty and no dispatcher is running a
+  /// request. Does not stop the service.
+  void wait_idle();
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] EnginePoolStats pool_stats() const { return pool_.stats(); }
+  [[nodiscard]] std::vector<DatasetStats> dataset_stats() {
+    return pool_.dataset_stats();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Request {
+    std::string dataset_id;
+    int dim = 0;
+    Parameters params{};
+    Options options{};
+    Method method = Method::kAuto;
+    std::shared_ptr<exec::CancelToken> token;
+    std::int64_t submit_ns = 0;
+    std::promise<ServiceResult> promise;
+    std::function<std::shared_ptr<void>()> make_engine;
+    EngineCounters (*counters)(const void*) = nullptr;
+    std::optional<Error> (*scan)(const void*) = nullptr;
+    Clustering (*run)(void*, const Parameters&, const Options&,
+                      Method) = nullptr;
+  };
+
+  struct AtomicHistogram {
+    std::array<std::atomic<std::int64_t>, kLatencyBuckets> buckets{};
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> total_ns{0};
+    std::atomic<std::int64_t> max_ns{0};
+
+    void add(std::int64_t ns) noexcept {
+      const auto us = static_cast<std::uint64_t>(ns > 0 ? ns / 1000 : 0);
+      const int idx = std::min(static_cast<int>(std::bit_width(us)),
+                               kLatencyBuckets - 1);
+      buckets[static_cast<std::size_t>(idx)].fetch_add(
+          1, std::memory_order_relaxed);
+      count.fetch_add(1, std::memory_order_relaxed);
+      total_ns.fetch_add(ns, std::memory_order_relaxed);
+      std::int64_t seen = max_ns.load(std::memory_order_relaxed);
+      while (ns > seen && !max_ns.compare_exchange_weak(
+                              seen, ns, std::memory_order_relaxed)) {
+      }
+    }
+
+    [[nodiscard]] LatencySummary snapshot() const {
+      LatencySummary s;
+      s.count = count.load(std::memory_order_relaxed);
+      s.total_ms =
+          static_cast<double>(total_ns.load(std::memory_order_relaxed)) * 1e-6;
+      s.max_ms =
+          static_cast<double>(max_ns.load(std::memory_order_relaxed)) * 1e-6;
+      for (int i = 0; i < kLatencyBuckets; ++i) {
+        s.buckets[static_cast<std::size_t>(i)] =
+            buckets[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+      }
+      return s;
+    }
+  };
+
+  void enqueue(Request req, double deadline_ms);
+  void dispatcher_loop(int index);
+  void watchdog_loop();
+  void process(Request& req, std::int64_t& track_floor_ns);
+  [[nodiscard]] ServiceResult run_request(Request& req);
+
+  ServiceConfig config_;
+  EnginePool pool_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable cv_queue_;
+  std::condition_variable cv_idle_;
+  std::deque<Request> queue_;
+  int active_ = 0;       // guarded by queue_mutex_
+  bool stopping_ = false;  // guarded by queue_mutex_
+
+  // Deadline watchdog: min-heap of (absolute trace_now_ns deadline,
+  // token). weak_ptr so an already-resolved request cannot be kept
+  // alive (or touched) by a stale deadline.
+  std::mutex wd_mutex_;
+  std::condition_variable wd_cv_;
+  std::vector<std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>>
+      wd_heap_;  // guarded by wd_mutex_
+  bool wd_stop_ = false;
+
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<std::int64_t> failed_{0};
+  AtomicHistogram queue_wait_;
+  AtomicHistogram run_time_;
+
+  std::vector<std::thread> dispatchers_;
+  std::thread watchdog_;
+};
+
+}  // namespace fdbscan::service

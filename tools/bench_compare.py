@@ -18,6 +18,12 @@ Usage:
   bench_compare.py --gate-amortized FILE [...]     check the Engine's
                        amortization contract: entries marked engine_warm
                        must report 0 index_rebuilds / workspace_reallocs
+  bench_compare.py --gate-service FILE [...]       check the service
+                       contract (DESIGN.md §10): under-capacity closed
+                       loops reject nothing and build each dataset's
+                       index once; deterministic overloads reject exactly
+                       their overflow; the terminal-state counts
+                       partition submitted
 
 Exit codes: 0 ok, 1 regression/drift found, 2 usage or schema error.
 
@@ -116,6 +122,12 @@ def validate(doc, path="<doc>"):
                     _expect(isinstance(agg.get(key), (int, float))
                             and agg[key] >= 0,
                             f"{kw}: {key} must be a non-negative number")
+        if "service" in e:
+            _expect(isinstance(e["service"], dict),
+                    f"{where}: service must be an object")
+            for sname, sval in e["service"].items():
+                _expect(isinstance(sval, (int, float)),
+                        f"{where}: service.{sname!r} is not a number")
         if "error" in e:
             _expect(isinstance(e["error"], str), f"{where}: error must be a string")
 
@@ -179,6 +191,63 @@ def gate_amortized(doc, path):
             f"{path}: no engine_warm entries found — the amortization gate "
             "is vacuous (did the benches stop sharing engines?)")
     return violations, warm
+
+
+def gate_service(doc, path):
+    """Single-file gate over the ClusterService contract (DESIGN.md §10),
+    applied to every entry carrying a "service" block:
+
+      * the terminal-state counts partition submitted (a request resolves
+        exactly once);
+      * closed_loop entries (an under-capacity closed loop) reject
+        nothing and build each dataset's index exactly once;
+      * overload entries reject exactly their engineered overflow — and
+        more than zero of it, so backpressure demonstrably fired;
+      * deadline entries observe both the fast-fail and mid-run paths.
+
+    Zero service entries is itself a violation — a gate that never fires
+    is indistinguishable from a broken one."""
+    violations = []
+    checked = 0
+    for e in doc["entries"]:
+        if e.get("error") or "service" not in e:
+            continue
+        checked += 1
+        name, s, counters = e["name"], e["service"], e["counters"]
+        terminal = (s.get("completed", 0) + s.get("rejected", 0)
+                    + s.get("cancelled", 0) + s.get("deadline_exceeded", 0)
+                    + s.get("failed", 0))
+        if s.get("submitted", -1) != terminal:
+            violations.append(
+                f"{name}: terminal counts sum to {terminal:g} but "
+                f"submitted={s.get('submitted', -1):g} — some request "
+                "resolved twice or never")
+        if "datasets" in counters:  # closed_loop shape
+            if s.get("rejected", 0) != 0:
+                violations.append(
+                    f"{name}: under-capacity closed loop rejected "
+                    f"{s['rejected']:g} requests, expected 0")
+            if counters.get("index_builds") != counters["datasets"]:
+                violations.append(
+                    f"{name}: index_builds={counters.get('index_builds')!r} "
+                    f"!= datasets={counters['datasets']:g} — warm-engine "
+                    "reuse broke (one BVH build per dataset)")
+        if "expected_rejected" in counters:  # overload shape
+            if counters.get("rejected") != counters["expected_rejected"]:
+                violations.append(
+                    f"{name}: rejected {counters.get('rejected')!r} of an "
+                    f"engineered overflow of {counters['expected_rejected']:g}")
+            if counters["expected_rejected"] <= 0:
+                violations.append(
+                    f"{name}: overload entry engineered no overflow")
+        for flag in ("fast_fail_ok", "mid_run_ok"):  # deadline shape
+            if flag in counters and counters[flag] != 1:
+                violations.append(f"{name}: {flag}={counters[flag]:g}")
+    if checked == 0:
+        violations.append(
+            f"{path}: no entries carry a service block — the service gate "
+            "is vacuous (did the bench stop staging its metrics?)")
+    return violations, checked
 
 
 def wall_sum(doc):
@@ -258,6 +327,10 @@ def main(argv):
                              "rebuilds and zero workspace reallocations "
                              "(the Engine's amortization contract, "
                              "DESIGN.md §9)")
+    parser.add_argument("--gate-service", action="store_true",
+                        help="single-file mode: check the ClusterService "
+                             "contract over entries carrying a service "
+                             "block (DESIGN.md §10)")
     parser.add_argument("--counter-budget-pct", type=float, default=0.0,
                         help="allowed relative drift for the deterministic "
                              "counters (default 0: bit-exact)")
@@ -302,6 +375,20 @@ def main(argv):
                 return 1
             print("ok: all warm engine runs amortized "
                   "(0 rebuilds, 0 reallocs)")
+            return 0
+        if args.gate_service:
+            violations = []
+            for path in args.files:
+                file_violations, checked = gate_service(load(path), path)
+                violations.extend(file_violations)
+                print(f"{path}: {checked} service entries checked")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: service contract holds (no under-capacity "
+                  "rejections, one index build per dataset, exact "
+                  "overload backpressure)")
             return 0
         if len(args.files) != 2:
             parser.error("comparison needs exactly two files: OLD NEW")

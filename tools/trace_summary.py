@@ -17,7 +17,11 @@ needs:
     busiest thread inside the span's window is the lower bound on the
     phase's runtime no amount of extra balance can beat;
   * counter peaks (device_memory -> peak bytes charged to the
-    MemoryTracker).
+    MemoryTracker);
+  * a service breakdown when the trace carries cat "service" spans (the
+    ClusterService dispatcher tracks): queue-wait vs run time per span
+    name — how much of a request's latency was spent waiting for a
+    dispatcher versus clustering.
 
 Usage:
   trace_summary.py TRACE.json [--top N]
@@ -200,6 +204,25 @@ def phase_table(slices):
     return rows
 
 
+def service_table(slices):
+    """Per-name aggregates over the ClusterService dispatcher spans
+    (cat "service": service/queue-wait and service/run). Queue-wait spans
+    are clamped to their dispatcher track (the true waits live in the
+    service metrics histograms), so this reads as a per-track timeline
+    breakdown: dispatcher time spent waiting for work vs running it."""
+    aggs = defaultdict(lambda: {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+    for s in slices:
+        if s["cat"] != "service":
+            continue
+        a = aggs[s["name"]]
+        ms = (s["end"] - s["begin"]) / 1000.0
+        a["count"] += 1
+        a["total_ms"] += ms
+        a["max_ms"] = max(a["max_ms"], ms)
+    rows = [{"name": name, **a} for name, a in sorted(aggs.items())]
+    return rows
+
+
 def print_summary(path, top):
     events = load_events(path)
     slices, counters = pair_slices(events, path)
@@ -228,6 +251,16 @@ def print_summary(path, top):
             print(f"  {r['name']:<28} {r['spans']:>6} {r['wall_ms']:>10.3f} "
                   f"{r['busy_ms']:>10.3f} {r['critical_ms']:>9.3f} "
                   f"{par:>5.2f}")
+
+    service = service_table(slices)
+    if service:
+        print("\nservice spans (dispatcher-track queue-wait vs run):")
+        print(f"  {'span':<28} {'count':>6} {'total ms':>10} {'mean ms':>9} "
+              f"{'max ms':>9}")
+        for r in service:
+            mean = r["total_ms"] / r["count"] if r["count"] else 0.0
+            print(f"  {r['name']:<28} {r['count']:>6} {r['total_ms']:>10.3f} "
+                  f"{mean:>9.3f} {r['max_ms']:>9.3f}")
 
     if counters:
         peaks = defaultdict(int)
