@@ -138,6 +138,16 @@ inline void report(benchmark::State& state, const Clustering& result) {
           static_cast<double>(result.timings.grid_cache_hits);
     }
   }
+  // Sharded-execution stats (shard/sharded_engine.h): decomposition
+  // volume a real exchange would ship plus the boundary stitching work.
+  if (result.num_shards > 0) {
+    state.counters["shards"] = static_cast<double>(result.num_shards);
+    state.counters["ghosts"] = static_cast<double>(result.shard_ghosts);
+    state.counters["cross_edges"] =
+        static_cast<double>(result.shard_cross_edges);
+    state.counters["halo_KB"] =
+        static_cast<double>(result.shard_halo_bytes) / 1024.0;
+  }
   // Kernel-launch profile of the main phase (populated by algorithms
   // that time phases through exec::PhaseProfiler). main_workers must be
   // read together with main_imbalance: a single-thread phase reports

@@ -23,7 +23,10 @@
 # service_throughput (in SERVICE_BENCHES) is additionally gated on the
 # service contract: under-capacity closed loops reject nothing and build
 # one index per dataset; engineered overloads reject exactly their
-# overflow; terminal counts partition submitted.
+# overflow; terminal counts partition submitted. It also carries the
+# sharded-equivalence entry (SHARD_BENCHES): --gate-shards requires
+# zero equivalence failures across the worker x shard sweep and a
+# nonzero halo volume, so the gate cannot pass vacuously.
 #
 # Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, WORK_DIR.
 
@@ -48,6 +51,13 @@ set(AMORTIZED_BENCHES fig4_minpts ablation_traversal)
 # Benches carrying "service" telemetry blocks: gated on the
 # ClusterService contract (tools/bench_compare.py --gate-service).
 set(SERVICE_BENCHES service_throughput)
+
+# Benches carrying a sharded-equivalence entry: gated on the sharding
+# contract (tools/bench_compare.py --gate-shards) — sharded labels match
+# single-engine labels at every worker x shard combination, and the
+# equivalence is non-vacuous (multi-shard runs happened, halo volume
+# nonzero).
+set(SHARD_BENCHES service_throughput)
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -129,6 +139,21 @@ foreach(bench ${SMOKE_BENCHES})
         "bench_smoke: service gate failed in ${bench}\n${svc_out}\n${svc_err}")
     endif()
     message(STATUS "bench_smoke: ${bench} service contract ok\n${svc_out}")
+  endif()
+
+  if(bench IN_LIST SHARD_BENCHES)
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --gate-shards
+        ${WORK_DIR}/BENCH_${bench}_t1.json
+        ${WORK_DIR}/BENCH_${bench}_t8.json
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE shd_out
+      ERROR_VARIABLE shd_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: shard gate failed in ${bench}\n${shd_out}\n${shd_err}")
+    endif()
+    message(STATUS "bench_smoke: ${bench} shard contract ok\n${shd_out}")
   endif()
 endforeach()
 

@@ -14,6 +14,12 @@
 //                within one chunk-quantum (reported as a counter, in ms).
 //   deadline     deadline_ms <= 0 fails fast (no kernels) and a tiny
 //                mid-run deadline resolves to kDeadlineExceeded.
+//   sharded_equivalence  the tentpole's correctness gate: sharded labels
+//                through ClusterService::submit are equivalent to
+//                single-engine labels (up to renumbering, with
+//                bit-identical core flags) at 1/2/8 workers x 1/2/4
+//                shards, with a nonzero halo volume whenever shards > 1
+//                (tools/bench_compare.py --gate-shards).
 //
 // Each entry stages its ServiceMetrics into the telemetry "service"
 // block; tools/bench_compare.py --gate-service enforces the invariants.
@@ -27,7 +33,9 @@
 #include <vector>
 
 #include "common.h"
+#include "core/validate.h"
 #include "data/generators.h"
+#include "exec/thread_pool.h"
 #include "service/service.h"
 
 namespace {
@@ -169,6 +177,68 @@ void register_all() {
         state.counters["expected_rejected"] = kExtra;
         state.counters["rejected"] = rejected;
         stage_metrics(svc);
+      });
+
+  // --- Sharded equivalence gate -------------------------------------------
+  // The worker counts are set internally (and restored), so the entry's
+  // counters are identical under the smoke harness's outer 1-vs-8 thread
+  // sweep: the decomposition, halo volume and equivalence verdicts are
+  // worker-count invariant — deterministic=true and gateable at 0%.
+  register_custom(
+      "service_throughput/sharded_equivalence/n=" + std::to_string(n),
+      RunMeta{"gaussian", "service-sharded", n},
+      [=](benchmark::State& state) {
+        const Parameters sharded_params{0.05f, 10};
+        const auto pts = make_dataset(n, 44);
+        const int env_threads = exec::num_threads();
+        std::int64_t checked = 0;
+        std::int64_t failures = 0;
+        std::int64_t multi_shard_runs = 0;
+        std::int64_t ghosts = 0;
+        std::int64_t cross_edges = 0;
+        std::int64_t halo_bytes = 0;
+        for (int workers : {1, 2, 8}) {
+          exec::set_num_threads(workers);
+          const auto reference =
+              cluster(*pts, sharded_params, {}, Method::kFdbscan);
+          {
+            // The service (and its launches) must be gone before the
+            // next thread-count change — hence the scope.
+            ClusterService svc;
+            SubmitOptions submit;
+            submit.method = Method::kFdbscan;
+            for (std::int32_t shards : {1, 2, 4}) {
+              submit.shards = shards;
+              const auto result =
+                  svc.submit<2>("ds", pts, sharded_params, submit).get();
+              ++checked;
+              const bool ok =
+                  reference.has_value() && result.has_value() &&
+                  equivalent_clusterings(*pts, sharded_params, *reference,
+                                         *result)
+                      .ok &&
+                  result->is_core == reference->is_core &&
+                  result->num_clusters == reference->num_clusters;
+              if (!ok) ++failures;
+              if (result.has_value() && shards > 1) {
+                ++multi_shard_runs;
+                ghosts += result->shard_ghosts;
+                cross_edges += result->shard_cross_edges;
+                halo_bytes += result->shard_halo_bytes;
+              }
+            }
+            svc.wait_idle();
+          }
+        }
+        exec::set_num_threads(env_threads);
+        state.counters["shards_checked"] = static_cast<double>(checked);
+        state.counters["shard_equiv_failures"] =
+            static_cast<double>(failures);
+        state.counters["multi_shard_runs"] =
+            static_cast<double>(multi_shard_runs);
+        state.counters["ghosts"] = static_cast<double>(ghosts);
+        state.counters["cross_edges"] = static_cast<double>(cross_edges);
+        state.counters["halo_KB"] = static_cast<double>(halo_bytes) / 1024.0;
       });
 
   // --- Cancellation latency ----------------------------------------------

@@ -97,6 +97,15 @@ struct Clustering {
   /// substrate (DESIGN.md §6).
   std::int64_t distance_computations = 0;
   std::int64_t index_nodes_visited = 0;
+  /// Sharded-execution totals (shard/sharded_engine.h; zero for
+  /// single-engine runs). `shard_halo_bytes` is the communication volume
+  /// a real exchange would ship for the run's eps: per ghost, the
+  /// coordinates plus the global id on the way in and the owner's core
+  /// flag on the way back.
+  std::int32_t num_shards = 0;
+  std::int64_t shard_ghosts = 0;       ///< ghost copies across all shards
+  std::int64_t shard_cross_edges = 0;  ///< pair-once edges with a ghost endpoint
+  std::int64_t shard_halo_bytes = 0;
 
   [[nodiscard]] std::int64_t num_noise() const noexcept {
     std::int64_t k = 0;

@@ -107,6 +107,13 @@ class Engine {
     return find_grid(params, options) != nullptr;
   }
 
+  /// The engine's point BVH, built on first use (counted in
+  /// counters().index_builds exactly like a run()'s index phase). The
+  /// sharded executor (shard/sharded_engine.h) drives the two-phase
+  /// kernels itself over per-shard engines and needs the raw index; the
+  /// returned reference stays valid for the engine's lifetime.
+  [[nodiscard]] const Bvh<DIM>& index() { return ensure_bvh(); }
+
   /// FDBSCAN (§4.1) over the engine's points. Bit-identical to
   /// fdbscan(points, params, options) at any worker count; the index
   /// phase is ~free on every run after the first.

@@ -27,6 +27,7 @@ enum class ErrorCode : std::uint8_t {
   kInvalidMinpts,           ///< minpts < 1
   kNonFinitePoint,          ///< a coordinate is NaN or infinite
   kInvalidCellWidthFactor,  ///< densebox_cell_width_factor outside (0, 1]
+  kInvalidShards,           ///< shard / rank count < 1
   kQueueFull,               ///< service request queue at capacity
   kCancelled,               ///< request cancelled via its CancelToken
   kDeadlineExceeded,        ///< request deadline elapsed before completion
@@ -39,6 +40,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kInvalidMinpts: return "InvalidMinpts";
     case ErrorCode::kNonFinitePoint: return "NonFinitePoint";
     case ErrorCode::kInvalidCellWidthFactor: return "InvalidCellWidthFactor";
+    case ErrorCode::kInvalidShards: return "InvalidShards";
     case ErrorCode::kQueueFull: return "QueueFull";
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";

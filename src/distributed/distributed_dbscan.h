@@ -21,14 +21,20 @@
 // only the ghost exchange and the label array stand in for messages),
 // while each rank's kernels use the data-parallel runtime, mirroring the
 // paper's MPI+GPU layering. RankStats expose the communication volume a
-// real exchange would ship.
+// real exchange would ship. The concurrent-shards incarnation of the
+// same decomposition lives in shard/sharded_engine.h.
 #pragma once
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bvh/bvh.h"
+#include "core/cluster.h"
 #include "core/clustering.h"
+#include "core/status.h"
 #include "exec/per_thread.h"
 #include "exec/timer.h"
 #include "geometry/box.h"
@@ -58,6 +64,8 @@ struct RankStats {
   std::int32_t owned = 0;
   std::int32_t ghosts = 0;          ///< halo points received from peers
   std::int64_t cross_rank_edges = 0;  ///< eps-pairs resolved across ranks
+  std::int32_t index_builds = 0;    ///< local BVH constructions (1 per rank
+                                    ///< with owned points, 0 otherwise)
 };
 
 template <int DIM>
@@ -149,6 +157,31 @@ template <int DIM>
         static_cast<std::int32_t>(ids.size()) -
         owned_count[static_cast<std::size_t>(r)];
   }
+  timings.preprocessing = timer.lap();  // decomposition + halo exchange
+
+  // --- Per-rank local index: gather + one BVH build per rank ---------------
+  // Built once and reused by both phases below; a rank that owns nothing
+  // answers no queries and builds no index.
+  std::vector<std::vector<Point<DIM>>> rank_points(
+      static_cast<std::size_t>(num_ranks));
+  std::vector<std::unique_ptr<Bvh<DIM>>> rank_bvh(
+      static_cast<std::size_t>(num_ranks));
+  for (std::int32_t r = 0; r < num_ranks; ++r) {
+    const auto& ids = local_ids[static_cast<std::size_t>(r)];
+    if (owned_count[static_cast<std::size_t>(r)] == 0) continue;
+    auto& local_points = rank_points[static_cast<std::size_t>(r)];
+    local_points.resize(ids.size());
+    exec::parallel_for("distributed/index/gather-local",
+                       static_cast<std::int64_t>(ids.size()),
+                       [&](std::int64_t k) {
+                         local_points[static_cast<std::size_t>(k)] =
+                             points[static_cast<std::size_t>(
+                                 ids[static_cast<std::size_t>(k)])];
+                       });
+    rank_bvh[static_cast<std::size_t>(r)] =
+        std::make_unique<Bvh<DIM>>(local_points);
+    result.ranks[static_cast<std::size_t>(r)].index_builds = 1;
+  }
   timings.index_construction = timer.lap();
 
   // --- Per-rank local clustering against the global label array ------------
@@ -157,20 +190,14 @@ template <int DIM>
   init_singletons(labels);
   UnionFindView uf(labels.data(), static_cast<std::int32_t>(n));
   const bool fof = params.minpts == 2;
+  exec::PerThread<TraversalStats> work;
 
   for (std::int32_t r = 0; r < num_ranks; ++r) {
     const auto& ids = local_ids[static_cast<std::size_t>(r)];
-    if (ids.empty()) continue;
-    std::vector<Point<DIM>> local_points(ids.size());
-    exec::parallel_for("distributed/pre/gather-local",
-                       static_cast<std::int64_t>(ids.size()),
-                       [&](std::int64_t k) {
-                         local_points[static_cast<std::size_t>(k)] =
-                             points[static_cast<std::size_t>(
-                                 ids[static_cast<std::size_t>(k)])];
-                       });
-    Bvh<DIM> bvh(local_points);
     const std::int32_t owned = owned_count[static_cast<std::size_t>(r)];
+    if (owned == 0) continue;
+    const auto& local_points = rank_points[static_cast<std::size_t>(r)];
+    const Bvh<DIM>& bvh = *rank_bvh[static_cast<std::size_t>(r)];
 
     // Preprocessing: core status of the rank's owned points. The halo
     // guarantees every eps-neighbor of an owned point is local, so the
@@ -184,16 +211,21 @@ template <int DIM>
                          [&](std::int64_t k) {
         const auto& p = local_points[static_cast<std::size_t>(k)];
         std::int32_t count = 0;
-        bvh.for_each_near(p, eps2, [&](std::int32_t, std::int32_t) {
-          ++count;
-          return (options.early_exit && count >= params.minpts)
-                     ? TraversalControl::kTerminate
-                     : TraversalControl::kContinue;
-        });
+        TraversalStats stats;  // stack-local: increments stay in registers
+        bvh.for_each_near(
+            p, eps2,
+            [&](std::int32_t, std::int32_t) {
+              ++count;
+              return (options.early_exit && count >= params.minpts)
+                         ? TraversalControl::kTerminate
+                         : TraversalControl::kContinue;
+            },
+            &stats);
         if (count >= params.minpts) {
           is_core[static_cast<std::size_t>(
               ids[static_cast<std::size_t>(k)])] = 1;
         }
+        work.local() += stats;
       });
     }
   }
@@ -201,22 +233,15 @@ template <int DIM>
   // Core flags for ghosts come "from their owner" — in this simulation
   // they are already in the shared array; a real implementation would
   // exchange them here.
-  timings.preprocessing = timer.lap();
+  timings.preprocessing += timer.lap();
 
   for (std::int32_t r = 0; r < num_ranks; ++r) {
     const auto& ids = local_ids[static_cast<std::size_t>(r)];
     const std::int32_t owned = owned_count[static_cast<std::size_t>(r)];
     if (owned == 0) continue;
-    std::vector<Point<DIM>> local_points(ids.size());
-    exec::parallel_for("distributed/main/gather-local",
-                       static_cast<std::int64_t>(ids.size()),
-                       [&](std::int64_t k) {
-                         local_points[static_cast<std::size_t>(k)] =
-                             points[static_cast<std::size_t>(
-                                 ids[static_cast<std::size_t>(k)])];
-                       });
-    Bvh<DIM> bvh(local_points);
-    auto& stats = result.ranks[static_cast<std::size_t>(r)];
+    const auto& local_points = rank_points[static_cast<std::size_t>(r)];
+    const Bvh<DIM>& bvh = *rank_bvh[static_cast<std::size_t>(r)];
+    auto& stats_out = result.ranks[static_cast<std::size_t>(r)];
 
     // Main phase over owned points. Pair-once rule: the rank owning the
     // globally-smaller id resolves the edge (it always holds both
@@ -227,27 +252,33 @@ template <int DIM>
       const std::int32_t x = ids[static_cast<std::size_t>(k)];
       const auto& p = local_points[static_cast<std::size_t>(k)];
       std::int64_t local_cross = 0;
-      bvh.for_each_near(p, eps2, [&](std::int32_t, std::int32_t local_y) {
-        const std::int32_t y = ids[static_cast<std::size_t>(local_y)];
-        if (y > x) {
-          if (local_y >= owned) ++local_cross;  // ghost endpoint
-          if (fof) {
-            exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
-                                       std::uint8_t{1});
-            exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
-                                       std::uint8_t{1});
-            uf.merge(x, y);
-          } else {
-            detail::resolve_pair(uf, is_core, x, y, options.variant);
-          }
-        }
-        return TraversalControl::kContinue;
-      });
+      TraversalStats stats;
+      bvh.for_each_near(
+          p, eps2,
+          [&](std::int32_t, std::int32_t local_y) {
+            const std::int32_t y = ids[static_cast<std::size_t>(local_y)];
+            if (y > x) {
+              if (local_y >= owned) ++local_cross;  // ghost endpoint
+              if (fof) {
+                exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(x)],
+                                           std::uint8_t{1});
+                exec::atomic_store_relaxed(is_core[static_cast<std::size_t>(y)],
+                                           std::uint8_t{1});
+                uf.merge(x, y);
+              } else {
+                fdbscan::detail::resolve_pair(uf, is_core, x, y,
+                                              options.variant);
+              }
+            }
+            return TraversalControl::kContinue;
+          },
+          &stats);
+      work.local() += stats;
       if (local_cross > 0) {
         cross_edges.local() += local_cross;
       }
     });
-    stats.cross_rank_edges = cross_edges.combine();
+    stats_out.cross_rank_edges = cross_edges.combine();
   }
   timings.main = timer.lap();
 
@@ -256,7 +287,30 @@ template <int DIM>
       detail::finalize_labels(std::move(labels), std::move(is_core));
   timings.finalization = timer.lap();
   result.clustering.timings = timings;
+  const TraversalStats total_work = work.combine();
+  result.clustering.distance_computations = total_work.leaves_tested;
+  result.clustering.index_nodes_visited = total_work.nodes_visited;
   return result;
+}
+
+/// Checked distributed clustering: the same typed-error validation as
+/// cluster() (core/cluster.h) plus the rank-grid check, so the
+/// distributed path rejects malformed input with the same ErrorCodes as
+/// single-engine requests instead of silently producing garbage.
+template <int DIM>
+[[nodiscard]] Expected<DistributedResult<DIM>> distributed_cluster(
+    const std::vector<Point<DIM>>& points, const Parameters& params,
+    const DistributedConfig<DIM>& config, const Options& options = {}) {
+  if (config.num_ranks() <= 0) {
+    return Error{ErrorCode::kInvalidShards,
+                 "rank grid must be positive in every dimension, product "
+                 "was " +
+                     std::to_string(config.num_ranks())};
+  }
+  if (auto error = validate_input(points, params, options)) {
+    return *std::move(error);
+  }
+  return distributed_dbscan(points, params, config, options);
 }
 
 }  // namespace fdbscan::distributed

@@ -34,6 +34,7 @@
 #include "exec/radix_sort.h"            // IWYU pragma: export
 #include "exec/workspace.h"             // IWYU pragma: export
 #include "service/service.h"            // IWYU pragma: export
+#include "shard/sharded_engine.h"       // IWYU pragma: export
 #include "geometry/box.h"               // IWYU pragma: export
 #include "geometry/morton.h"            // IWYU pragma: export
 #include "geometry/point.h"             // IWYU pragma: export

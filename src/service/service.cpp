@@ -36,6 +36,7 @@ ServiceConfig ServiceConfig::from_env() {
       env_int("FDBSCAN_SERVICE_QUEUE_CAP", config.queue_capacity);
   config.dispatchers =
       env_int("FDBSCAN_SERVICE_DISPATCHERS", config.dispatchers);
+  config.shards = env_int("FDBSCAN_SERVICE_SHARDS", config.shards);
   return config;
 }
 
@@ -44,6 +45,7 @@ ClusterService::ClusterService(const ServiceConfig& config)
   config_.queue_capacity = std::max<std::int32_t>(1, config_.queue_capacity);
   config_.dispatchers = std::max<std::int32_t>(1, config_.dispatchers);
   config_.engine_capacity = std::max<std::int32_t>(1, config_.engine_capacity);
+  config_.shards = std::max<std::int32_t>(1, config_.shards);
   dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
   for (int i = 0; i < config_.dispatchers; ++i) {
     dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
@@ -202,7 +204,8 @@ ServiceResult ClusterService::run_request(Request& req) {
       if (auto error = req.scan(lease.engine())) return *std::move(error);
       lease.set_validated();
     }
-    return req.run(lease.engine(), req.params, req.options, req.method);
+    return req.run(lease.engine(), req.params, req.options, req.method,
+                   req.shards);
   } catch (const exec::CancelledError& e) {
     const bool deadline =
         e.reason() == exec::CancelReason::kDeadlineExceeded;

@@ -19,8 +19,14 @@
 // chunk-quantum, its engine stays warm and reusable, and the future
 // resolves to Error{kCancelled | kDeadlineExceeded}.
 //
-// Knobs: FDBSCAN_SERVICE_QUEUE_CAP and FDBSCAN_SERVICE_DISPATCHERS seed
-// ServiceConfig::from_env().
+// Sharded execution: ServiceConfig::shards (or the per-request
+// SubmitOptions::shards override) routes a request through a pooled
+// ShardedEngine (shard/sharded_engine.h) instead of the single Engine —
+// same dataset id, same warm-pool amortization, same deadline/cancel
+// semantics (the request's token reaches every shard's kernels).
+//
+// Knobs: FDBSCAN_SERVICE_QUEUE_CAP, FDBSCAN_SERVICE_DISPATCHERS and
+// FDBSCAN_SERVICE_SHARDS seed ServiceConfig::from_env().
 //
 // Caveat: per-request Options::memory trackers are not thread-safe; do
 // not share one MemoryTracker across requests that may run concurrently.
@@ -35,6 +41,7 @@
 #include <functional>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,6 +53,7 @@
 #include "core/cluster.h"
 #include "exec/cancel.h"
 #include "service/engine_pool.h"
+#include "shard/sharded_engine.h"
 
 namespace fdbscan::service {
 
@@ -61,6 +69,10 @@ struct ServiceConfig {
   std::int32_t dispatchers = 2;
   /// Engine-pool LRU capacity (warm datasets kept resident).
   std::int32_t engine_capacity = 8;
+  /// Default shard count for requests that leave SubmitOptions::shards
+  /// at 0. 1 = single-engine execution; > 1 runs every request through a
+  /// pooled ShardedEngine. Env: FDBSCAN_SERVICE_SHARDS.
+  std::int32_t shards = 1;
 
   /// Defaults overridden by the FDBSCAN_SERVICE_* environment knobs.
   [[nodiscard]] static ServiceConfig from_env();
@@ -110,6 +122,11 @@ struct SubmitOptions {
   /// when absent. request_cancel() resolves the future with kCancelled
   /// within one chunk-quantum if the request is running.
   std::shared_ptr<exec::CancelToken> token{};
+  /// Shard count for this request: 0 = use ServiceConfig::shards, 1 =
+  /// single-engine, > 1 = sharded execution. Anything else rejects with
+  /// kInvalidShards. Sharded runs always execute plain FDBSCAN (the
+  /// decomposition is FDBSCAN's; `method` is ignored when shards > 1).
+  std::int32_t shards = 0;
 };
 
 using ServiceResult = Expected<Clustering, Error>;
@@ -123,14 +140,36 @@ template <int DIM>
 struct EngineHolder {
   std::shared_ptr<const std::vector<Point<DIM>>> points;
   Engine<DIM> engine;
+  /// Warm sharded executors for this dataset, one per requested shard
+  /// count. Mutated only under the pool entry's run-mutex (the Lease
+  /// serializes runs per dataset), so no extra lock is needed.
+  std::map<std::int32_t, std::unique_ptr<shard::ShardedEngine<DIM>>> sharded;
 
   explicit EngineHolder(std::shared_ptr<const std::vector<Point<DIM>>> pts)
       : points(std::move(pts)), engine(*points) {}
+
+  shard::ShardedEngine<DIM>& sharded_for(std::int32_t shards) {
+    auto& entry = sharded[shards];
+    if (!entry) {
+      entry = std::make_unique<shard::ShardedEngine<DIM>>(*points, shards);
+    }
+    return *entry;
+  }
 };
 
 template <int DIM>
 EngineCounters counters_typed(const void* holder) {
-  return static_cast<const EngineHolder<DIM>*>(holder)->engine.counters();
+  const auto* h = static_cast<const EngineHolder<DIM>*>(holder);
+  EngineCounters c = h->engine.counters();
+  // Fold the sharded executors' amortization into the dataset's counters
+  // so pool/dataset telemetry sees sharded traffic too.
+  for (const auto& [shards, engine] : h->sharded) {
+    const shard::ShardedCounters& sc = engine->counters();
+    c.runs += sc.runs;
+    c.index_builds += sc.index_builds;
+    c.workspace_reallocs += sc.workspace_reallocs;
+  }
+  return c;
 }
 
 template <int DIM>
@@ -148,8 +187,14 @@ std::optional<Error> scan_typed(const void* holder) {
 
 template <int DIM>
 Clustering run_typed(void* holder, const Parameters& params,
-                     const Options& options, Method method) {
+                     const Options& options, Method method,
+                     std::int32_t shards) {
   auto* h = static_cast<EngineHolder<DIM>*>(holder);
+  if (shards > 1) {
+    // Sharded execution is FDBSCAN's decomposition; `method` does not
+    // apply (documented on SubmitOptions::shards).
+    return h->sharded_for(shards).run(params, options).clustering;
+  }
   switch (method) {
     case Method::kFdbscan: return h->engine.run(params, options);
     case Method::kDensebox: return h->engine.run_densebox(params, options);
@@ -192,12 +237,22 @@ class ClusterService {
       promise.set_value(*std::move(error));
       return future;
     }
+    const std::int32_t shards =
+        submit.shards != 0 ? submit.shards : config_.shards;
+    if (shards < 1) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(Error{ErrorCode::kInvalidShards,
+                              "shards must be >= 1, got " +
+                                  std::to_string(shards)});
+      return future;
+    }
     Request req;
     req.dataset_id = dataset_id;
     req.dim = DIM;
     req.params = params;
     req.options = submit.options;
     req.method = submit.method;
+    req.shards = shards;
     req.token = submit.token ? std::move(submit.token)
                              : std::make_shared<exec::CancelToken>();
     req.promise = std::move(promise);
@@ -229,14 +284,15 @@ class ClusterService {
     Parameters params{};
     Options options{};
     Method method = Method::kAuto;
+    std::int32_t shards = 1;
     std::shared_ptr<exec::CancelToken> token;
     std::int64_t submit_ns = 0;
     std::promise<ServiceResult> promise;
     std::function<std::shared_ptr<void>()> make_engine;
     EngineCounters (*counters)(const void*) = nullptr;
     std::optional<Error> (*scan)(const void*) = nullptr;
-    Clustering (*run)(void*, const Parameters&, const Options&,
-                      Method) = nullptr;
+    Clustering (*run)(void*, const Parameters&, const Options&, Method,
+                      std::int32_t) = nullptr;
   };
 
   struct AtomicHistogram {

@@ -135,6 +135,41 @@ TEST(Distributed, EmptyInput) {
   EXPECT_TRUE(result.clustering.labels.empty());
 }
 
+// Satellite: the distributed path reports real traversal work counters,
+// and — like the local algorithms — bit-equal ones at any worker count.
+TEST(Distributed, WorkCountersReportedAndWorkerInvariant) {
+  auto points = testing::clustered_points<2>(1500, 5, 1.0f, 0.02f, 520);
+  const Parameters params{0.03f, 8};
+  std::int64_t dist_comps = -1;
+  std::int64_t nodes_visited = -1;
+  for (int workers : {1, 8}) {
+    testing::ScopedThreads threads(workers);
+    const auto result =
+        distributed_dbscan(points, params, make_config<2>({2, 2}));
+    EXPECT_GT(result.clustering.distance_computations, 0);
+    EXPECT_GT(result.clustering.index_nodes_visited, 0);
+    if (dist_comps < 0) {
+      dist_comps = result.clustering.distance_computations;
+      nodes_visited = result.clustering.index_nodes_visited;
+    } else {
+      EXPECT_EQ(result.clustering.distance_computations, dist_comps);
+      EXPECT_EQ(result.clustering.index_nodes_visited, nodes_visited);
+    }
+  }
+}
+
+// Satellite: each rank builds its local BVH exactly once (it used to be
+// rebuilt by both phases), and only ranks that own points build one.
+TEST(Distributed, IndexBuiltOncePerRankWithOwnedPoints) {
+  auto points = testing::random_points<2>(2000, 1.0f, 521);
+  const auto result = distributed_dbscan(points, Parameters{0.05f, 5},
+                                         make_config<2>({3, 2}));
+  for (const auto& r : result.ranks) {
+    EXPECT_EQ(r.index_builds, r.owned > 0 ? 1 : 0);
+  }
+  EXPECT_GT(result.clustering.timings.index_construction, 0.0);
+}
+
 TEST(Distributed, RejectsNonPositiveRankGrid) {
   auto points = testing::random_points<2>(10, 1.0f, 518);
   auto config = make_config<2>({0, 2});

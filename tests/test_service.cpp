@@ -52,8 +52,9 @@ TEST(ErrorCode, EveryEnumeratorHasADistinctName) {
   const ErrorCode all[] = {
       ErrorCode::kInvalidEps,       ErrorCode::kInvalidMinpts,
       ErrorCode::kNonFinitePoint,   ErrorCode::kInvalidCellWidthFactor,
-      ErrorCode::kQueueFull,        ErrorCode::kCancelled,
-      ErrorCode::kDeadlineExceeded, ErrorCode::kInternal,
+      ErrorCode::kInvalidShards,    ErrorCode::kQueueFull,
+      ErrorCode::kCancelled,        ErrorCode::kDeadlineExceeded,
+      ErrorCode::kInternal,
   };
   std::set<std::string> names;
   for (ErrorCode code : all) {

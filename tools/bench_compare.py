@@ -14,6 +14,12 @@ bench_smoke ctest does, since it diffs runs at different thread counts).
 
 Usage:
   bench_compare.py [options] OLD.json NEW.json     compare two runs
+  bench_compare.py [options] NEW.json              compare the committed
+                       baseline (the lexicographically greatest
+                       BENCH_*.json at the repo root) against NEW.json.
+                       Exits 2 when the runs' scales differ (the work
+                       counters would not be comparable); auto-enables
+                       --skip-wall when their thread counts differ.
   bench_compare.py --validate FILE [FILE...]       schema-check files
   bench_compare.py --gate-amortized FILE [...]     check the Engine's
                        amortization contract: entries marked engine_warm
@@ -24,6 +30,12 @@ Usage:
                        index once; deterministic overloads reject exactly
                        their overflow; the terminal-state counts
                        partition submitted
+  bench_compare.py --gate-shards FILE [...]        check the sharding
+                       contract (DESIGN.md §11) over entries carrying a
+                       shards_checked counter: zero equivalence failures
+                       across the worker x shard sweep, with multi-shard
+                       runs present and a nonzero halo volume so the
+                       gate cannot pass vacuously
 
 Exit codes: 0 ok, 1 regression/drift found, 2 usage or schema error.
 
@@ -34,6 +46,7 @@ import argparse
 import json
 import re
 import sys
+from pathlib import Path
 
 SCHEMA_ID = "fdbscan-bench-telemetry-v1"
 
@@ -250,6 +263,63 @@ def gate_service(doc, path):
     return violations, checked
 
 
+def gate_shards(doc, path):
+    """Single-file gate over the sharding contract (DESIGN.md §11),
+    applied to every entry carrying a "shards_checked" counter (the
+    sharded-equivalence sweep of service_throughput):
+
+      * shard_equiv_failures == 0: every (workers, shards) combination
+        produced labels equivalent to the single-engine reference, with
+        bit-identical core flags and cluster counts;
+      * shards_checked > 0 and multi_shard_runs > 0: the sweep actually
+        ran multi-shard configurations;
+      * ghosts > 0: the halo exchange carried volume, so the equivalence
+        was not tested on a decomposition with no boundary work.
+
+    Zero matching entries is itself a violation — a gate that never
+    fires is indistinguishable from a broken one."""
+    violations = []
+    checked = 0
+    for e in doc["entries"]:
+        if e.get("error") or "shards_checked" not in e["counters"]:
+            continue
+        checked += 1
+        name, counters = e["name"], e["counters"]
+        if counters.get("shard_equiv_failures", -1) != 0:
+            violations.append(
+                f"{name}: shard_equiv_failures="
+                f"{counters.get('shard_equiv_failures')!r} — sharded labels "
+                "diverged from the single-engine reference")
+        if counters["shards_checked"] <= 0:
+            violations.append(
+                f"{name}: shards_checked={counters['shards_checked']:g} — "
+                "the equivalence sweep ran no configurations")
+        if counters.get("multi_shard_runs", 0) <= 0:
+            violations.append(
+                f"{name}: multi_shard_runs="
+                f"{counters.get('multi_shard_runs', 0):g} — only "
+                "single-shard configurations ran, the gate is vacuous")
+        if counters.get("ghosts", 0) <= 0:
+            violations.append(
+                f"{name}: ghosts={counters.get('ghosts', 0):g} — the halo "
+                "exchange carried no volume; bump eps so shard boundaries "
+                "actually interact")
+    if checked == 0:
+        violations.append(
+            f"{path}: no entries carry a shards_checked counter — the shard "
+            "gate is vacuous (did service_throughput drop its "
+            "sharded_equivalence entry?)")
+    return violations, checked
+
+
+def baseline_path():
+    """The committed baseline: the lexicographically greatest
+    BENCH_*.json at the repo root (dates sort lexicographically)."""
+    root = Path(__file__).resolve().parent.parent
+    candidates = sorted(root.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
 def wall_sum(doc):
     """Summed wall_ms over non-errored entries."""
     return sum(e["wall_ms"] for e in doc["entries"] if not e.get("error"))
@@ -331,6 +401,10 @@ def main(argv):
                         help="single-file mode: check the ClusterService "
                              "contract over entries carrying a service "
                              "block (DESIGN.md §10)")
+    parser.add_argument("--gate-shards", action="store_true",
+                        help="single-file mode: check the sharding "
+                             "contract over entries carrying a "
+                             "shards_checked counter (DESIGN.md §11)")
     parser.add_argument("--counter-budget-pct", type=float, default=0.0,
                         help="allowed relative drift for the deterministic "
                              "counters (default 0: bit-exact)")
@@ -390,9 +464,47 @@ def main(argv):
                   "rejections, one index build per dataset, exact "
                   "overload backpressure)")
             return 0
-        if len(args.files) != 2:
-            parser.error("comparison needs exactly two files: OLD NEW")
-        old, new = (load(p) for p in args.files)
+        if args.gate_shards:
+            violations = []
+            for path in args.files:
+                file_violations, checked = gate_shards(load(path), path)
+                violations.extend(file_violations)
+                print(f"{path}: {checked} sharded entries checked")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: shard contract holds (sharded labels match the "
+                  "single-engine reference across the worker x shard "
+                  "sweep, with nonzero halo volume)")
+            return 0
+        if len(args.files) == 1:
+            # Single-file comparison mode: diff the committed baseline
+            # (the dated BENCH_*.json at the repo root) against this run.
+            base = baseline_path()
+            if base is None:
+                parser.error("no committed BENCH_*.json baseline found at "
+                             "the repo root; pass OLD NEW explicitly")
+            print(f"baseline: {base}")
+            old, new = load(str(base)), load(args.files[0])
+            if old["run"]["scale"] != new["run"]["scale"]:
+                print(f"schema error: baseline scale "
+                      f"{old['run']['scale']:g} != run scale "
+                      f"{new['run']['scale']:g} — work counters are not "
+                      "comparable across problem sizes",
+                      file=sys.stderr)
+                return 2
+            if (old["run"]["threads"] != new["run"]["threads"]
+                    and not args.skip_wall):
+                print(f"note: thread counts differ "
+                      f"({old['run']['threads']} vs {new['run']['threads']})"
+                      " — comparing work counters only (--skip-wall)")
+                args.skip_wall = True
+        elif len(args.files) == 2:
+            old, new = (load(p) for p in args.files)
+        else:
+            parser.error("comparison needs OLD NEW, or a single NEW to "
+                         "diff against the committed baseline")
     except SchemaError as exc:
         print(f"schema error: {exc}", file=sys.stderr)
         return 2
