@@ -1,24 +1,44 @@
-// Linear bounding volume hierarchy (LBVH) after Karras, "Maximizing
-// Parallelism in the Construction of BVHs, Octrees, and K-d Trees"
-// (HPG'12) — the search index of FDBSCAN (§4.1). This is the from-scratch
-// stand-in for the ArborX BVH the paper uses (DESIGN.md §2).
+// Wide linear bounding volume hierarchy — the search index of FDBSCAN
+// (§4.1). The binary topology comes from Karras, "Maximizing Parallelism
+// in the Construction of BVHs, Octrees, and K-d Trees" (HPG'12), then is
+// collapsed into 8-wide nodes whose child boxes are stored lane-wise
+// (SoA), so a single simd::box_d2_batch sweep tests every child of a
+// node at once — the `lane_width` idea of the zpc LBvh exemplar. This is
+// the from-scratch stand-in for the ArborX BVH the paper uses
+// (DESIGN.md §2).
 //
-// Construction (all phases data-parallel):
-//   1. Morton-code primitive centroids over the scene bounds and sort.
-//   2. Build the n-1 internal nodes independently from the sorted codes
-//      (Karras's prefix-delta construction; ties broken by index so
+// Construction (data-parallel except the final collapse):
+//   1. Morton-code primitive centroids over the scene bounds (the point
+//      path encodes straight from a PointsView SoA, one lane group per
+//      launch index) and sort.
+//   2. Build the n-1 binary internal nodes independently from the sorted
+//      codes (Karras's prefix-delta construction; ties broken by index so
 //      duplicate codes are handled).
-//   3. Refit internal bounds bottom-up; each node is processed by the
+//   3. Refit binary bounds bottom-up; each node is processed by the
 //      second child to arrive (atomic counter per node).
+//   4. Collapse the binary tree into wide nodes: starting from a node's
+//      two children, repeatedly expand the child subtree covering the
+//      most leaves until 8 entries (or all leaves) remain — a
+//      deterministic, balance-seeking flattening. Left-to-right order of
+//      the sorted leaf ranges is preserved lane order. The binary nodes
+//      and Morton codes are build temporaries, freed afterwards.
 //
-// Traversal is a batched, stack-based top-down walk with two features the
-// paper relies on:
+// Traversal is a batched, stack-based top-down walk: one lane sweep
+// computes all 8 child box distances, then lanes are processed in order.
+// Counter contract (DESIGN.md §6): `nodes_visited` counts internal-node
+// lanes whose bounds were tested, `leaves_tested` counts leaf lanes
+// whose bounds were tested — values differ from the old binary tree
+// (pruning granularity changed) but are deterministic for a given tree:
+// bit-equal across worker counts and across the scalar/vector backends,
+// which walk the identical wide tree in the identical lane order.
+// Two traversal features the paper relies on are preserved exactly:
 //   * callbacks may terminate the traversal early (preprocessing stops
 //     after minpts neighbors);
 //   * a *leaf mask* hides all leaves with sorted position < a threshold,
 //     implementing §4.1's "half-traversal" so each neighbor pair is
-//     visited exactly once (internal nodes store the max sorted leaf
-//     position of their subtree, pruning masked subtrees wholesale).
+//     visited exactly once (lanes carry the max sorted leaf position of
+//     their subtree, pruning masked subtrees wholesale before any
+//     counter is touched).
 #pragma once
 
 #include <algorithm>
@@ -32,9 +52,11 @@
 #include "exec/atomic.h"
 #include "exec/parallel.h"
 #include "exec/radix_sort.h"
+#include "exec/simd.h"
 #include "geometry/box.h"
 #include "geometry/morton.h"
 #include "geometry/point.h"
+#include "geometry/points_view.h"
 
 namespace fdbscan {
 
@@ -63,23 +85,27 @@ struct TraversalStats {
 template <int DIM>
 class Bvh {
  public:
+  /// Children per wide node == SIMD lane count: one batched distance
+  /// sweep covers a whole node.
+  static constexpr int kArity = simd::kWidth;
+
   /// Builds the hierarchy over arbitrary boxed primitives (points are
   /// degenerate boxes; FDBSCAN-DenseBox mixes points and dense-cell
   /// boxes, which the BVH accommodates without extra constraints — §4.2).
   explicit Bvh(const std::vector<Box<DIM>>& primitive_bounds) {
-    build(primitive_bounds);
+    build_from_boxes(primitive_bounds);
   }
 
-  /// Convenience: hierarchy over raw points.
+  /// Hierarchy over an SoA point view: Morton codes are computed one
+  /// lane group at a time straight from the per-axis spans, and the
+  /// degenerate leaf boxes are materialized only in sorted order.
+  explicit Bvh(const PointsView<DIM>& points) { build_from_view(points); }
+
+  /// Convenience: hierarchy over raw AoS points (packs a temporary SoA
+  /// store for the build).
   explicit Bvh(const std::vector<Point<DIM>>& points) {
-    std::vector<Box<DIM>> boxes(points.size());
-    exec::parallel_for("bvh/build/point-boxes",
-                       static_cast<std::int64_t>(points.size()),
-                       [&](std::int64_t i) {
-                         const auto& p = points[static_cast<std::size_t>(i)];
-                         boxes[static_cast<std::size_t>(i)] = Box<DIM>{p, p};
-                       });
-    build(boxes);
+    const PointsStore<DIM> store(points);
+    build_from_view(store.view());
   }
 
   [[nodiscard]] std::int32_t size() const noexcept { return n_; }
@@ -102,7 +128,7 @@ class Bvh {
   /// Bytes of device memory the structure occupies (for the memory
   /// comparison benches).
   [[nodiscard]] std::size_t bytes_used() const noexcept {
-    return internal_.size() * sizeof(InternalNode) +
+    return wide_.size() * sizeof(WideNode) +
            leaf_bounds_.size() * sizeof(Box<DIM>) +
            (sorted_ids_.size() + positions_.size()) * sizeof(std::int32_t);
   }
@@ -127,31 +153,30 @@ class Bvh {
       }
       return;
     }
-    // Depth is bounded by the Morton key length plus the index tiebreak
-    // bits; 128 entries is comfortably above the theoretical maximum.
-    std::int32_t stack[128];
+    std::int32_t stack[kMaxStack];
     int top = 0;
-    stack[top++] = 0;  // root is internal node 0
+    stack[top++] = 0;  // root is wide node 0
     while (top > 0) {
-      const InternalNode& node = internal_[static_cast<std::size_t>(stack[--top])];
-      const std::int32_t children[2] = {node.left, node.right};
-      for (std::int32_t c : children) {
+      const WideNode& node = wide_[static_cast<std::size_t>(stack[--top])];
+      float d2[kArity];
+      simd::box_d2_batch<DIM>(p, node.lo, node.hi, d2);
+      const int count = node.count;
+      for (int l = 0; l < count; ++l) {
+        const std::int32_t c = node.child[l];
         if (c < 0) {  // leaf, encoded as ~sorted_pos
           const std::int32_t pos = ~c;
           if (pos < min_sorted_pos) continue;  // masked leaf
           if (stats) ++stats->leaves_tested;
-          if (squared_distance(p, leaf_bounds_[static_cast<std::size_t>(pos)]) <=
-              eps_squared) {
+          if (d2[l] <= eps_squared) {
             if (cb(pos, sorted_ids_[static_cast<std::size_t>(pos)]) ==
                 TraversalControl::kTerminate) {
               return;
             }
           }
         } else {
-          const InternalNode& child = internal_[static_cast<std::size_t>(c)];
-          if (child.range_end < min_sorted_pos) continue;  // masked subtree
+          if (node.range_end[l] < min_sorted_pos) continue;  // masked subtree
           if (stats) ++stats->nodes_visited;
-          if (squared_distance(p, child.bounds) <= eps_squared) {
+          if (d2[l] <= eps_squared) {
             stack[top++] = c;
           }
         }
@@ -169,8 +194,8 @@ class Bvh {
   /// k-nearest-neighbor query (by primitive bounds distance; exact point
   /// distances for point primitives). Returns up to k (primitive_id,
   /// squared_distance) pairs sorted by ascending distance. Used by the
-  /// k-dist parameter-selection heuristic; a best-first walk prunes
-  /// subtrees farther than the current k-th distance.
+  /// k-dist parameter-selection heuristic; the walk prunes subtrees
+  /// farther than the current k-th distance.
   [[nodiscard]] std::vector<std::pair<std::int32_t, float>> nearest(
       const Point<DIM>& p, std::int32_t k) const {
     std::vector<std::pair<std::int32_t, float>> result;
@@ -196,26 +221,23 @@ class Bvh {
     if (n_ == 1) {
       offer(squared_distance(p, leaf_bounds_[0]), sorted_ids_[0]);
     } else {
-      std::int32_t stack[128];
+      std::int32_t stack[kMaxStack];
       int top = 0;
       stack[top++] = 0;
       while (top > 0) {
-        const InternalNode& node =
-            internal_[static_cast<std::size_t>(stack[--top])];
-        const std::int32_t children[2] = {node.left, node.right};
-        for (std::int32_t c : children) {
+        const WideNode& node = wide_[static_cast<std::size_t>(stack[--top])];
+        float d2[kArity];
+        simd::box_d2_batch<DIM>(p, node.lo, node.hi, d2);
+        const int count = node.count;
+        for (int l = 0; l < count; ++l) {
+          const std::int32_t c = node.child[l];
           if (c < 0) {
             const std::int32_t pos = ~c;
-            const float d2 =
-                squared_distance(p, leaf_bounds_[static_cast<std::size_t>(pos)]);
-            if (d2 < bound()) {
-              offer(d2, sorted_ids_[static_cast<std::size_t>(pos)]);
+            if (d2[l] < bound()) {
+              offer(d2[l], sorted_ids_[static_cast<std::size_t>(pos)]);
             }
-          } else {
-            const InternalNode& child = internal_[static_cast<std::size_t>(c)];
-            if (squared_distance(p, child.bounds) < bound()) {
-              stack[top++] = c;
-            }
+          } else if (d2[l] < bound()) {
+            stack[top++] = c;
           }
         }
       }
@@ -249,25 +271,20 @@ class Bvh {
       offer(0);
       return best;
     }
-    std::int32_t stack[128];
+    std::int32_t stack[kMaxStack];
     int top = 0;
     stack[top++] = 0;
     while (top > 0) {
-      const InternalNode& node =
-          internal_[static_cast<std::size_t>(stack[--top])];
-      const std::int32_t children[2] = {node.left, node.right};
-      for (std::int32_t c : children) {
+      const WideNode& node = wide_[static_cast<std::size_t>(stack[--top])];
+      float d2[kArity];
+      simd::box_d2_batch<DIM>(p, node.lo, node.hi, d2);
+      const int count = node.count;
+      for (int l = 0; l < count; ++l) {
+        const std::int32_t c = node.child[l];
         if (c < 0) {
-          const std::int32_t pos = ~c;
-          if (squared_distance(p, leaf_bounds_[static_cast<std::size_t>(pos)]) <
-              best.second) {
-            offer(pos);
-          }
-        } else {
-          const InternalNode& child = internal_[static_cast<std::size_t>(c)];
-          if (squared_distance(p, child.bounds) < best.second) {
-            stack[top++] = c;
-          }
+          if (d2[l] < best.second) offer(~c);
+        } else if (d2[l] < best.second) {
+          stack[top++] = c;
         }
       }
     }
@@ -275,13 +292,35 @@ class Bvh {
   }
 
  private:
-  struct InternalNode {
-    Box<DIM> bounds;
-    std::int32_t left;       // >= 0: internal node index; < 0: leaf ~pos
-    std::int32_t right;
-    std::int32_t range_end;  // max sorted leaf position in this subtree
-    std::int32_t parent;     // -1 for root
+  /// Lane-SoA wide node: child boxes stored axis-major so one vector
+  /// load covers all 8 lane values of one axis. Lanes >= count are
+  /// padding (+inf/-inf boxes, child -1, range_end -1) and are never
+  /// iterated.
+  struct WideNode {
+    float lo[DIM][kArity];
+    float hi[DIM][kArity];
+    std::int32_t child[kArity];      // >= 0: wide node index; < 0: leaf ~pos
+    std::int32_t range_end[kArity];  // max sorted leaf position in subtree
+    std::int32_t count;              // live lanes
   };
+
+  /// Binary build node (temporary): Karras topology plus the sorted leaf
+  /// range, which the collapse uses to pick the biggest subtree to
+  /// expand.
+  struct BuildNode {
+    Box<DIM> bounds;
+    std::int32_t left;         // >= 0: internal node index; < 0: leaf ~pos
+    std::int32_t right;
+    std::int32_t range_begin;  // min sorted leaf position in this subtree
+    std::int32_t range_end;    // max sorted leaf position in this subtree
+    std::int32_t parent;       // -1 for root
+  };
+
+  // Wide-tree depth is bounded by the binary depth (Morton key length
+  // plus index tiebreak, < 100 levels); a DFS pushes at most kArity - 1
+  // net entries per level, so 1024 slots are comfortably above the
+  // theoretical maximum.
+  static constexpr int kMaxStack = 1024;
 
   // Prefix-delta of Karras's construction: length of the common prefix of
   // the keys at sorted positions i and j, with the position itself
@@ -298,11 +337,10 @@ class Bvh {
                                  static_cast<std::uint32_t>(j));
   }
 
-  void build(const std::vector<Box<DIM>>& boxes) {
+  void build_from_boxes(const std::vector<Box<DIM>>& boxes) {
     n_ = static_cast<std::int32_t>(boxes.size());
     if (n_ == 0) return;
 
-    // Scene bounds over primitive boxes.
     scene_ = exec::parallel_reduce(
         "bvh/build/scene-bounds", static_cast<std::int64_t>(n_),
         Box<DIM>::empty(),
@@ -312,35 +350,85 @@ class Bvh {
           return a;
         });
 
-    // Morton codes of centroids; radix-sort primitive ids by code (the
-    // stable sort breaks code ties by id, as the GPU pipeline would).
+    // Mixed primitives keep the scalar per-centroid encoder (for the
+    // degenerate boxes of point primitives the centroid IS the point, so
+    // this matches the SoA group encoder bit for bit).
     codes_.resize(boxes.size());
     exec::parallel_for("bvh/build/morton-codes", static_cast<std::int64_t>(n_),
                        [&](std::int64_t i) {
       codes_[static_cast<std::size_t>(i)] =
           morton_code(boxes[static_cast<std::size_t>(i)].center(), scene_);
     });
-    sorted_ids_.resize(boxes.size());
+
+    finish_build([&](std::int32_t id) -> const Box<DIM>& {
+      return boxes[static_cast<std::size_t>(id)];
+    });
+  }
+
+  void build_from_view(const PointsView<DIM>& points) {
+    n_ = static_cast<std::int32_t>(points.size());
+    if (n_ == 0) return;
+
+    scene_ = exec::parallel_reduce(
+        "bvh/build/scene-bounds", static_cast<std::int64_t>(n_),
+        Box<DIM>::empty(),
+        [&](std::int64_t i) {
+          const Point<DIM> p = points.point(i);
+          return Box<DIM>{p, p};
+        },
+        [](Box<DIM> a, const Box<DIM>& b) {
+          a.expand(b);
+          return a;
+        });
+
+    // One launch index per lane group: each call encodes up to
+    // simd::kWidth consecutive points straight from the axis spans.
+    codes_.resize(static_cast<std::size_t>(n_));
+    const std::int64_t groups =
+        (static_cast<std::int64_t>(n_) + simd::kWidth - 1) / simd::kWidth;
+    exec::parallel_for("bvh/build/morton-codes", groups, [&](std::int64_t g) {
+      const std::int64_t i0 = g * simd::kWidth;
+      const int count = static_cast<int>(
+          std::min<std::int64_t>(simd::kWidth, n_ - i0));
+      simd::morton_group<DIM>(points.axes(), i0, count, scene_,
+                              codes_.data() + i0);
+    });
+
+    finish_build([&](std::int32_t id) {
+      const Point<DIM> p = points.point(id);
+      return Box<DIM>{p, p};
+    });
+  }
+
+  /// Shared build tail once codes_ are filled: sort, leaf order, binary
+  /// hierarchy + refit, collapse to wide nodes. `box_at(id)` yields the
+  /// primitive bounds of an original id.
+  template <class BoxAt>
+  void finish_build(BoxAt&& box_at) {
+    sorted_ids_.resize(static_cast<std::size_t>(n_));
     std::iota(sorted_ids_.begin(), sorted_ids_.end(), 0);
     exec::radix_sort_pairs(codes_, sorted_ids_);
 
-    leaf_bounds_.resize(boxes.size());
-    positions_.resize(boxes.size());
+    leaf_bounds_.resize(static_cast<std::size_t>(n_));
+    positions_.resize(static_cast<std::size_t>(n_));
     exec::parallel_for("bvh/build/leaf-order", static_cast<std::int64_t>(n_),
                        [&](std::int64_t pos) {
       const std::int32_t id = sorted_ids_[static_cast<std::size_t>(pos)];
-      leaf_bounds_[static_cast<std::size_t>(pos)] =
-          boxes[static_cast<std::size_t>(id)];
+      leaf_bounds_[static_cast<std::size_t>(pos)] = box_at(id);
       positions_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(pos);
     });
 
-    if (n_ == 1) return;
+    if (n_ == 1) {
+      codes_ = {};
+      return;
+    }
 
-    // Hierarchy: each internal node i in [0, n-1) is built independently.
+    // Binary hierarchy: each internal node i in [0, n-1) is built
+    // independently (build temporaries; freed after the collapse).
     const std::int32_t num_internal = n_ - 1;
-    internal_.resize(static_cast<std::size_t>(num_internal));
-    leaf_parent_.resize(static_cast<std::size_t>(n_));
-    internal_[0].parent = -1;
+    build_.resize(static_cast<std::size_t>(num_internal));
+    std::vector<std::int32_t> leaf_parent(static_cast<std::size_t>(n_));
+    build_[0].parent = -1;
     exec::parallel_for("bvh/build/hierarchy", num_internal, [&](std::int64_t ii) {
       const auto i = static_cast<std::int32_t>(ii);
       // Direction and range of the node's keys.
@@ -365,19 +453,20 @@ class Bvh {
 
       const std::int32_t first = std::min(i, j);
       const std::int32_t last = std::max(i, j);
-      InternalNode& node = internal_[static_cast<std::size_t>(ii)];
+      BuildNode& node = build_[static_cast<std::size_t>(ii)];
+      node.range_begin = first;
       node.range_end = last;
       node.left = (first == gamma) ? ~gamma : gamma;
       node.right = (last == gamma + 1) ? ~(gamma + 1) : gamma + 1;
       if (node.left < 0) {
-        leaf_parent_[static_cast<std::size_t>(gamma)] = i;
+        leaf_parent[static_cast<std::size_t>(gamma)] = i;
       } else {
-        internal_[static_cast<std::size_t>(node.left)].parent = i;
+        build_[static_cast<std::size_t>(node.left)].parent = i;
       }
       if (node.right < 0) {
-        leaf_parent_[static_cast<std::size_t>(gamma + 1)] = i;
+        leaf_parent[static_cast<std::size_t>(gamma + 1)] = i;
       } else {
-        internal_[static_cast<std::size_t>(node.right)].parent = i;
+        build_[static_cast<std::size_t>(node.right)].parent = i;
       }
     });
 
@@ -386,36 +475,117 @@ class Bvh {
     std::vector<std::int32_t> arrivals(static_cast<std::size_t>(num_internal), 0);
     exec::parallel_for("bvh/build/refit", static_cast<std::int64_t>(n_),
                        [&](std::int64_t leaf) {
-      std::int32_t node = leaf_parent_[static_cast<std::size_t>(leaf)];
+      std::int32_t node = leaf_parent[static_cast<std::size_t>(leaf)];
       while (node >= 0) {
         if (exec::atomic_fetch_add(arrivals[static_cast<std::size_t>(node)],
                                    std::int32_t{1}) == 0) {
           return;  // first arrival: the sibling subtree is not done yet
         }
-        InternalNode& nd = internal_[static_cast<std::size_t>(node)];
+        BuildNode& nd = build_[static_cast<std::size_t>(node)];
         Box<DIM> b = child_bounds(nd.left);
         b.expand(child_bounds(nd.right));
         nd.bounds = b;
         node = nd.parent;
       }
     });
+
+    // Collapse (serial, O(n): every binary node is visited once). The
+    // root wide node is index 0.
+    wide_.reserve(static_cast<std::size_t>(num_internal) / (kArity / 2) + 1);
+    (void)collapse_node(0);
+    build_ = {};
+    codes_ = {};
+  }
+
+  /// Flattens the binary subtree rooted at internal node `bin` into one
+  /// wide node (recursing into the surviving internal entries) and
+  /// returns its wide index. Expansion policy: while fewer than kArity
+  /// entries, split the entry whose subtree covers the most sorted leaf
+  /// positions (ties: the leftmost), replacing it in place with its two
+  /// children — lane order stays the left-to-right sorted order.
+  std::int32_t collapse_node(std::int32_t bin) {
+    std::int32_t entry[kArity];
+    int size = 0;
+    entry[size++] = build_[static_cast<std::size_t>(bin)].left;
+    entry[size++] = build_[static_cast<std::size_t>(bin)].right;
+    while (size < kArity) {
+      int pick = -1;
+      std::int32_t best_span = 0;
+      for (int k = 0; k < size; ++k) {
+        if (entry[k] < 0) continue;  // leaves cannot expand
+        const BuildNode& nd = build_[static_cast<std::size_t>(entry[k])];
+        const std::int32_t span = nd.range_end - nd.range_begin + 1;
+        if (span > best_span) {
+          best_span = span;
+          pick = k;
+        }
+      }
+      if (pick < 0) break;  // all entries are leaves
+      const std::int32_t left = build_[static_cast<std::size_t>(entry[pick])].left;
+      const std::int32_t right =
+          build_[static_cast<std::size_t>(entry[pick])].right;
+      for (int k = size; k > pick + 1; --k) entry[k] = entry[k - 1];
+      entry[pick] = left;
+      entry[pick + 1] = right;
+      ++size;
+    }
+
+    const auto wi = static_cast<std::int32_t>(wide_.size());
+    wide_.emplace_back();
+    {
+      WideNode& w = wide_[static_cast<std::size_t>(wi)];
+      w.count = size;
+      for (int l = 0; l < kArity; ++l) {
+        w.child[l] = -1;
+        w.range_end[l] = -1;
+        for (int d = 0; d < DIM; ++d) {
+          w.lo[d][l] = std::numeric_limits<float>::infinity();
+          w.hi[d][l] = -std::numeric_limits<float>::infinity();
+        }
+      }
+    }
+    for (int k = 0; k < size; ++k) {
+      const std::int32_t c = entry[k];
+      Box<DIM> b;
+      std::int32_t child_code;
+      std::int32_t rend;
+      if (c < 0) {
+        const std::int32_t pos = ~c;
+        b = leaf_bounds_[static_cast<std::size_t>(pos)];
+        child_code = c;  // keep the ~sorted_pos encoding
+        rend = pos;
+      } else {
+        b = build_[static_cast<std::size_t>(c)].bounds;
+        rend = build_[static_cast<std::size_t>(c)].range_end;
+        child_code = collapse_node(c);  // may grow wide_
+      }
+      WideNode& w = wide_[static_cast<std::size_t>(wi)];  // re-fetch: see above
+      w.child[k] = child_code;
+      w.range_end[k] = rend;
+      for (int d = 0; d < DIM; ++d) {
+        w.lo[d][k] = b.min[d];
+        w.hi[d][k] = b.max[d];
+      }
+    }
+    return wi;
   }
 
   [[nodiscard]] Box<DIM> child_bounds(std::int32_t c) const noexcept {
     if (c < 0) return leaf_bounds_[static_cast<std::size_t>(~c)];
     // The child's bounds were written before the release of the arrival
     // counter increment observed by this thread.
-    return internal_[static_cast<std::size_t>(c)].bounds;
+    return build_[static_cast<std::size_t>(c)].bounds;
   }
 
   std::int32_t n_ = 0;
   Box<DIM> scene_ = Box<DIM>::empty();
-  std::vector<InternalNode> internal_;
+  std::vector<WideNode> wide_;              // collapsed tree; root at 0
   std::vector<Box<DIM>> leaf_bounds_;       // by sorted position
-  std::vector<std::uint64_t> codes_;        // by sorted position
   std::vector<std::int32_t> sorted_ids_;    // sorted position -> primitive
   std::vector<std::int32_t> positions_;     // primitive -> sorted position
-  std::vector<std::int32_t> leaf_parent_;   // by sorted position
+  // Build temporaries, freed at the end of finish_build().
+  std::vector<BuildNode> build_;
+  std::vector<std::uint64_t> codes_;        // by sorted position
 };
 
 }  // namespace fdbscan

@@ -40,8 +40,10 @@
 #include "exec/cancel.h"
 #include "exec/per_thread.h"
 #include "exec/profile.h"
+#include "exec/simd.h"
 #include "exec/workspace.h"
 #include "geometry/point.h"
+#include "geometry/points_view.h"
 #include "grid/dense_grid.h"
 
 namespace fdbscan {
@@ -63,6 +65,10 @@ struct EngineCounters {
   std::int64_t grid_cache_hits = 0;  ///< DenseBox bundle reuses
   std::int64_t grid_cache_evictions = 0;
   std::int64_t workspace_reallocs = 0;  ///< workspace arena growths
+  /// Sharded executors dropped by the service holder's per-dataset LRU
+  /// (service/service.h). Always 0 for a standalone Engine — the field
+  /// lives here so pool/dataset telemetry folds it like the others.
+  std::int64_t sharded_evictions = 0;
 };
 
 template <int DIM>
@@ -77,6 +83,17 @@ class Engine {
       : points_(&points),
         config_(config),
         workspace_(kNumSlots, config.memory) {}
+
+  /// Same, with a pre-packed SoA mirror of `points` (e.g. the sharded
+  /// gather fills both layouts in one pass). The store feeds the index
+  /// build and is released afterwards; it must match `points`
+  /// element-for-element.
+  Engine(const std::vector<Point<DIM>>& points, PointsStore<DIM>&& soa,
+         EngineConfig config = {})
+      : points_(&points),
+        config_(config),
+        workspace_(kNumSlots, config.memory),
+        pending_soa_(std::move(soa)) {}
 
   ~Engine() {
     if (config_.memory) {
@@ -272,6 +289,7 @@ class Engine {
         is_core[static_cast<std::size_t>(i)] = 1;
       });
     } else if (params.minpts > 2) {
+      const auto member_axes = grid.member_axes();
       exec::parallel_for("densebox/pre/core-count", num_isolated,
                          [&](std::int64_t k) {
         const std::int32_t x = isolated_ids[static_cast<std::size_t>(k)];
@@ -283,16 +301,19 @@ class Engine {
             px, eps2, 0,
             [&](std::int32_t, std::int32_t pid) {
               if (pid < num_cells) {
+                // Lane-group membership scan over the cell's SoA span;
+                // `scans` advances group-granularly (exec/simd.h), and
+                // the early stop lands on the same cell as a per-member
+                // scan would (the threshold is reached at the group
+                // holding the minpts-th neighbor).
                 const CellRange& cell = cells[static_cast<std::size_t>(pid)];
-                for (std::int32_t m = cell.begin; m < cell.end; ++m) {
-                  const std::int32_t y = perm[static_cast<std::size_t>(m)];
-                  ++scans;
-                  if (within(px, points[static_cast<std::size_t>(y)], eps2)) {
-                    ++count;
-                    if (options.early_exit && count >= params.minpts) {
-                      return TraversalControl::kTerminate;
-                    }
-                  }
+                count += simd::count_within<DIM>(
+                    member_axes, cell.begin, cell.end, px, eps2,
+                    options.early_exit ? params.minpts - count
+                                       : std::int32_t{0},
+                    scans);
+                if (options.early_exit && count >= params.minpts) {
+                  return TraversalControl::kTerminate;
                 }
               } else {
                 ++count;  // point primitive: bounds test already was exact
@@ -330,6 +351,7 @@ class Engine {
 
     // Tree search for all points (dense-cell members included: they are the
     // ones stitching adjacent cells together).
+    const auto member_axes = grid.member_axes();
     exec::parallel_for("densebox/main/traverse-union", n, [&](std::int64_t i) {
       const auto x = static_cast<std::int32_t>(i);
       const auto& px = points[static_cast<std::size_t>(x)];
@@ -347,20 +369,21 @@ class Engine {
           if (pid == own_cell) return TraversalControl::kContinue;
           const CellRange& cell = cells[static_cast<std::size_t>(pid)];
           // One eps-close witness connects x to the whole (core) cell.
-          for (std::int32_t m = cell.begin; m < cell.end; ++m) {
+          // The lane-group scan returns the lowest-index witness — the
+          // same member a sequential scan finds — so merge targets are
+          // unchanged; `scans` advances group-granularly (exec/simd.h).
+          const std::int32_t m = simd::first_within<DIM>(
+              member_axes, cell.begin, cell.end, px, eps2, scans);
+          if (m >= 0) {
             const std::int32_t y = perm[static_cast<std::size_t>(m)];
-            ++scans;
-            if (within(px, points[static_cast<std::size_t>(y)], eps2)) {
-              if (fof && !xc) {
-                exec::atomic_store_relaxed(
-                    is_core[static_cast<std::size_t>(x)], std::uint8_t{1});
-                uf.merge(x, y);
-              } else if (xc || fof) {
-                uf.merge(x, y);
-              } else if (options.variant == Variant::kDbscan) {
-                uf.claim(x, y);
-              }
-              break;
+            if (fof && !xc) {
+              exec::atomic_store_relaxed(
+                  is_core[static_cast<std::size_t>(x)], std::uint8_t{1});
+              uf.merge(x, y);
+            } else if (xc || fof) {
+              uf.merge(x, y);
+            } else if (options.variant == Variant::kDbscan) {
+              uf.claim(x, y);
             }
           }
         } else {
@@ -475,7 +498,15 @@ class Engine {
 
   const Bvh<DIM>& ensure_bvh() {
     if (!bvh_) {
-      bvh_ = std::make_unique<Bvh<DIM>>(*points_);
+      // The build runs over the SoA layout (lane-group Morton encoding);
+      // the store is build-only scratch — traversal reads the wide
+      // nodes' lane boxes, never the raw coordinates — so it is packed
+      // here (unless a caller supplied one) and freed right after.
+      if (pending_soa_.size() != static_cast<std::int64_t>(points_->size())) {
+        pending_soa_.assign(*points_);
+      }
+      bvh_ = std::make_unique<Bvh<DIM>>(pending_soa_.view());
+      pending_soa_ = PointsStore<DIM>{};
       ++counters_.index_builds;
       bvh_bytes_ = bvh_->bytes_used();
       if (config_.memory) {
@@ -559,6 +590,7 @@ class Engine {
         perm.size() * sizeof(std::int32_t) +
         cells.size() * sizeof(CellRange) +
         grid.dense_cell_of().size() * sizeof(std::int32_t) +
+        grid.soa_bytes() +
         bvh.bytes_used() + isolated_ids.size() * sizeof(std::int32_t);
     if (config_.memory) config_.memory->charge(tracked_bytes);
 
@@ -593,6 +625,7 @@ class Engine {
   const std::vector<Point<DIM>>* points_;
   EngineConfig config_;
   exec::Workspace workspace_;
+  PointsStore<DIM> pending_soa_;   // build-only scratch, freed after use
   std::unique_ptr<Bvh<DIM>> bvh_;  // lazily built: the first run pays it
   std::size_t bvh_bytes_ = 0;
   std::vector<std::unique_ptr<GridEntry>> grid_cache_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "geometry/point.h"
+#include "geometry/points_view.h"
 
 namespace fdbscan::data {
 
@@ -81,5 +82,14 @@ extern template std::vector<Point2> subsample<2>(const std::vector<Point2>&,
                                                  std::int64_t, std::uint64_t);
 extern template std::vector<Point3> subsample<3>(const std::vector<Point3>&,
                                                  std::int64_t, std::uint64_t);
+
+/// Packs a generated point set into the per-axis SoA layout the engine's
+/// index build and the SIMD kernels consume (geometry/points_view.h),
+/// so callers can hand `Engine` both layouts without a second pass of
+/// their own.
+template <int DIM>
+[[nodiscard]] inline PointsStore<DIM> soa(const std::vector<Point<DIM>>& points) {
+  return PointsStore<DIM>(points);
+}
 
 }  // namespace fdbscan::data

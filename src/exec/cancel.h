@@ -35,35 +35,75 @@ enum class CancelReason : std::uint8_t {
 /// One-shot cancellation flag. Raising is a CAS so the *first* reason
 /// wins (a user cancel racing a deadline keeps the user's reason);
 /// polling is a single relaxed load. Safe to share across threads.
+///
+/// Generations: every reset() bumps a generation counter packed next to
+/// the reason, and request_cancel_if() raises the token only while the
+/// generation it captured is still current. Asynchronous controllers
+/// that outlive a request — the service's deadline watchdog — use this
+/// so a stale deadline registered against generation g cannot fire on a
+/// token that has since been reset and reused for generation g+1
+/// (DESIGN.md §10).
 class CancelToken {
  public:
   /// Raise the token. Returns true if this call was the first to raise
-  /// it; later calls (any reason) are no-ops.
+  /// it (in the current generation); later calls (any reason) are no-ops.
   bool request_cancel(CancelReason reason = CancelReason::kCancelled) noexcept {
-    std::uint8_t expected = 0;
+    std::uint32_t state = state_.load(std::memory_order_relaxed);
+    while ((state & kReasonMask) ==
+           static_cast<std::uint32_t>(CancelReason::kNone)) {
+      if (state_.compare_exchange_weak(
+              state, state | static_cast<std::uint32_t>(reason),
+              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Raise the token only if its generation still equals `generation`
+  /// (and it is unraised). A reset() concurrent with or preceding this
+  /// call makes it a no-op — the stale controller loses.
+  bool request_cancel_if(std::uint32_t generation,
+                         CancelReason reason) noexcept {
+    std::uint32_t expected = generation << kGenerationShift;
     return state_.compare_exchange_strong(
-        expected, static_cast<std::uint8_t>(reason),
+        expected, expected | static_cast<std::uint32_t>(reason),
         std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool cancelled() const noexcept {
-    return state_.load(std::memory_order_relaxed) !=
-           static_cast<std::uint8_t>(CancelReason::kNone);
+    return (state_.load(std::memory_order_relaxed) & kReasonMask) !=
+           static_cast<std::uint32_t>(CancelReason::kNone);
   }
 
   [[nodiscard]] CancelReason reason() const noexcept {
-    return static_cast<CancelReason>(state_.load(std::memory_order_relaxed));
+    return static_cast<CancelReason>(state_.load(std::memory_order_relaxed) &
+                                     kReasonMask);
   }
 
-  /// Re-arm a token for reuse. Only valid while no launch is polling it.
+  /// Generation the token is currently in; capture before handing the
+  /// token to an asynchronous controller, pair with request_cancel_if().
+  [[nodiscard]] std::uint32_t generation() const noexcept {
+    return state_.load(std::memory_order_relaxed) >> kGenerationShift;
+  }
+
+  /// Re-arm a token for reuse: clears the reason and advances the
+  /// generation, invalidating any request_cancel_if() armed against the
+  /// previous one. Only valid while no launch is polling the token.
   void reset() noexcept {
-    state_.store(static_cast<std::uint8_t>(CancelReason::kNone),
+    const std::uint32_t state = state_.load(std::memory_order_relaxed);
+    // 24 generation bits; wrap is harmless (a stale controller would
+    // need 2^24 intervening resets to collide).
+    state_.store(((state >> kGenerationShift) + 1) << kGenerationShift,
                  std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::uint8_t> state_{
-      static_cast<std::uint8_t>(CancelReason::kNone)};
+  static constexpr std::uint32_t kReasonMask = 0xff;
+  static constexpr int kGenerationShift = 8;
+
+  std::atomic<std::uint32_t> state_{
+      static_cast<std::uint32_t>(CancelReason::kNone)};
 };
 
 /// Thrown by the runtime on the dispatching thread when a launch observes

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -20,6 +21,7 @@
 #include "exec/radix_sort.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "geometry/points_view.h"
 
 namespace fdbscan {
 
@@ -162,6 +164,30 @@ class DenseGrid {
     return dense_cell_of_[static_cast<std::size_t>(point)] >= 0;
   }
 
+  /// SoA mirror of the permuted points: `member_axes()[d][k]` is
+  /// coordinate d of permutation()[k]. Cell ranges index straight into
+  /// these spans, so membership scans (exec/simd.h count_within /
+  /// first_within) load whole lane groups of one cell contiguously.
+  /// Padded per the kSoaPadding contract of geometry/points_view.h.
+  [[nodiscard]] std::array<const float*, DIM> member_axes() const noexcept {
+    std::array<const float*, DIM> axes{};
+    for (int d = 0; d < DIM; ++d) {
+      axes[static_cast<std::size_t>(d)] =
+          member_coords_[static_cast<std::size_t>(d)].data();
+    }
+    return axes;
+  }
+
+  /// Heap bytes of the SoA member mirror (for memory accounting).
+  [[nodiscard]] std::size_t soa_bytes() const noexcept {
+    std::size_t total = 0;
+    for (int d = 0; d < DIM; ++d) {
+      total +=
+          member_coords_[static_cast<std::size_t>(d)].capacity() * sizeof(float);
+    }
+    return total;
+  }
+
  private:
   void build(const std::vector<Point<DIM>>& points, std::int32_t minpts) {
     const auto n = static_cast<std::int64_t>(points.size());
@@ -224,12 +250,28 @@ class DenseGrid {
         dense_cell_of_[static_cast<std::size_t>(
             perm_[static_cast<std::size_t>(k)])] = ci;
     }
+
+    // SoA mirror in final permuted order (member_axes() contract above).
+    for (int d = 0; d < DIM; ++d) {
+      member_coords_[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(n + kSoaPadding),
+          std::numeric_limits<float>::infinity());
+    }
+    exec::parallel_for("dense-grid/member-soa", n, [&](std::int64_t k) {
+      const auto& p =
+          points[static_cast<std::size_t>(perm_[static_cast<std::size_t>(k)])];
+      for (int d = 0; d < DIM; ++d) {
+        member_coords_[static_cast<std::size_t>(d)][static_cast<std::size_t>(
+            k)] = p[d];
+      }
+    });
   }
 
   GridSpec<DIM> spec_;
   std::vector<std::int32_t> perm_;
   std::vector<CellRange> cells_;
   std::vector<std::int32_t> dense_cell_of_;
+  std::array<std::vector<float>, DIM> member_coords_;
   std::int32_t num_dense_ = 0;
   std::int32_t dense_points_ = 0;
 };

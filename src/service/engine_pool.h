@@ -51,6 +51,9 @@ struct DatasetStats {
   std::int64_t runs = 0;
   std::int64_t index_builds = 0;
   std::int64_t grid_cache_hits = 0;
+  /// Sharded executors this dataset's holder dropped from its bounded
+  /// per-shard-count LRU (EngineCounters::sharded_evictions).
+  std::int64_t sharded_evictions = 0;
 };
 
 class EnginePool {
@@ -170,7 +173,8 @@ class EnginePool {
       std::lock_guard<std::mutex> run_guard(entry->run_mutex);
       const EngineCounters c = entry->counters(entry->engine.get());
       out.push_back(DatasetStats{entry->id, entry->dim, c.runs,
-                                 c.index_builds, c.grid_cache_hits});
+                                 c.index_builds, c.grid_cache_hits,
+                                 c.sharded_evictions});
     }
     return out;
   }

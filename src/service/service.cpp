@@ -1,31 +1,59 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "exec/trace.h"
 
 namespace fdbscan::service {
 
+namespace detail {
+
+std::optional<int> parse_positive_env_int(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (errno == ERANGE || end == value || *end != '\0') return std::nullopt;
+  if (v <= 0 || v > std::numeric_limits<int>::max()) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+}  // namespace detail
+
 namespace {
 
 int env_int(const char* name, int fallback) {
-  if (const char* env = std::getenv(name)) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  if (const auto v = detail::parse_positive_env_int(env)) return *v;
+  // A set-but-unusable knob silently becoming the default is how typos
+  // ship to production; warn once per variable.
+  static std::mutex warned_mutex;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(warned_mutex);
+  if (warned.insert(name).second) {
+    std::fprintf(stderr,
+                 "fdbscan: ignoring %s=\"%s\" (expected a positive integer); "
+                 "using default %d\n",
+                 name, env, fallback);
   }
   return fallback;
 }
 
 // wd_heap_ comparator: std::push_heap/pop_heap build a max-heap, so
-// "greater begin_ns first" yields the earliest deadline at the front.
-bool later_deadline(
-    const std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>& a,
-    const std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>& b) {
-  return a.first > b.first;
+// "greater due_ns first" yields the earliest deadline at the front.
+bool later_deadline(const detail::WatchdogEntry& a,
+                    const detail::WatchdogEntry& b) {
+  return a.due_ns > b.due_ns;
 }
 
 }  // namespace
@@ -81,9 +109,15 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
   req.submit_ns = exec::trace_now_ns();
   if (deadline_ms <= 0.0) {
     // Fail fast: the deadline elapsed before the request existed. No
-    // queue slot, no kernel launch.
+    // queue slot, no kernel launch. Only a service-private token may be
+    // raised here — a caller-supplied token can be shared across that
+    // caller's other requests, and poisoning it would cancel work this
+    // rejection has nothing to do with (the future's error is the
+    // caller's signal either way).
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    req.token->request_cancel(exec::CancelReason::kDeadlineExceeded);
+    if (req.token_private) {
+      req.token->request_cancel(exec::CancelReason::kDeadlineExceeded);
+    }
     req.promise.set_value(Error{ErrorCode::kDeadlineExceeded,
                                 "deadline_ms <= 0: deadline elapsed before "
                                 "submission"});
@@ -95,6 +129,10 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
           ? req.submit_ns + static_cast<std::int64_t>(deadline_ms * 1e6)
           : 0;
   std::weak_ptr<exec::CancelToken> wd_token = req.token;
+  // Capture the generation BEFORE the request can run: a reset() after
+  // completion bumps it, turning our not-yet-due heap entry into a
+  // no-op instead of a stale cancel of the token's next user.
+  const std::uint32_t wd_generation = req.token->generation();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -118,8 +156,10 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
     bool new_front = false;
     {
       std::lock_guard<std::mutex> lock(wd_mutex_);
-      new_front = wd_heap_.empty() || deadline_ns < wd_heap_.front().first;
-      wd_heap_.emplace_back(deadline_ns, std::move(wd_token));
+      new_front = wd_heap_.empty() || deadline_ns < wd_heap_.front().due_ns;
+      wd_heap_.push_back(detail::WatchdogEntry{deadline_ns,
+                                               std::move(wd_token),
+                                               wd_generation});
       std::push_heap(wd_heap_.begin(), wd_heap_.end(), later_deadline);
     }
     if (new_front) wd_cv_.notify_one();
@@ -226,16 +266,19 @@ void ClusterService::watchdog_loop() {
       wd_cv_.wait(lock, [&] { return wd_stop_ || !wd_heap_.empty(); });
       continue;
     }
-    const std::int64_t due_ns = wd_heap_.front().first;
+    const std::int64_t due_ns = wd_heap_.front().due_ns;
     const std::int64_t now_ns = exec::trace_now_ns();
     if (now_ns >= due_ns) {
       std::pop_heap(wd_heap_.begin(), wd_heap_.end(), later_deadline);
-      std::weak_ptr<exec::CancelToken> weak = std::move(wd_heap_.back().second);
+      detail::WatchdogEntry entry = std::move(wd_heap_.back());
       wd_heap_.pop_back();
-      if (auto token = weak.lock()) {
-        // First reason wins inside the token: a user cancel that raced
-        // us keeps kCancelled.
-        token->request_cancel(exec::CancelReason::kDeadlineExceeded);
+      if (auto token = entry.token.lock()) {
+        // Conditional raise: a no-op unless the token is still unraised
+        // AND in the generation we registered against. A user cancel
+        // that raced us keeps kCancelled; a reset() (token reused for a
+        // later request) makes this stale deadline inert.
+        token->request_cancel_if(entry.generation,
+                                 exec::CancelReason::kDeadlineExceeded);
       }
       continue;
     }

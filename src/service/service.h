@@ -41,7 +41,6 @@
 #include <functional>
 #include <future>
 #include <limits>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -138,22 +137,58 @@ namespace detail {
 /// alive for the engine's whole pooled lifetime).
 template <int DIM>
 struct EngineHolder {
+  /// Distinct shard counts kept warm per dataset. A ShardedEngine holds
+  /// ghost replicas of the dataset, so caching one per shard count ever
+  /// requested would grow without bound under adversarial traffic —
+  /// bound it like the eps-plan LRU inside each executor.
+  static constexpr std::size_t kShardedCapacity = 2;
+
+  struct ShardedSlot {
+    std::int32_t shards = 0;
+    std::uint64_t last_used = 0;
+    std::unique_ptr<shard::ShardedEngine<DIM>> engine;
+  };
+
   std::shared_ptr<const std::vector<Point<DIM>>> points;
   Engine<DIM> engine;
-  /// Warm sharded executors for this dataset, one per requested shard
-  /// count. Mutated only under the pool entry's run-mutex (the Lease
-  /// serializes runs per dataset), so no extra lock is needed.
-  std::map<std::int32_t, std::unique_ptr<shard::ShardedEngine<DIM>>> sharded;
+  /// Warm sharded executors, LRU-bounded at kShardedCapacity. Mutated
+  /// only under the pool entry's run-mutex (the Lease serializes runs
+  /// per dataset), so no extra lock is needed.
+  std::vector<ShardedSlot> sharded;
+  std::uint64_t sharded_clock = 0;
+  std::int64_t sharded_evictions = 0;
+  /// Counters of evicted executors, folded in so dataset telemetry
+  /// stays monotone across evictions.
+  std::int64_t retired_runs = 0;
+  std::int64_t retired_index_builds = 0;
+  std::int64_t retired_workspace_reallocs = 0;
 
   explicit EngineHolder(std::shared_ptr<const std::vector<Point<DIM>>> pts)
       : points(std::move(pts)), engine(*points) {}
 
   shard::ShardedEngine<DIM>& sharded_for(std::int32_t shards) {
-    auto& entry = sharded[shards];
-    if (!entry) {
-      entry = std::make_unique<shard::ShardedEngine<DIM>>(*points, shards);
+    for (auto& slot : sharded) {
+      if (slot.shards == shards) {
+        slot.last_used = ++sharded_clock;
+        return *slot.engine;
+      }
     }
-    return *entry;
+    while (sharded.size() >= kShardedCapacity) {
+      auto victim = sharded.begin();
+      for (auto it = sharded.begin(); it != sharded.end(); ++it) {
+        if (it->last_used < victim->last_used) victim = it;
+      }
+      const shard::ShardedCounters& sc = victim->engine->counters();
+      retired_runs += sc.runs;
+      retired_index_builds += sc.index_builds;
+      retired_workspace_reallocs += sc.workspace_reallocs;
+      ++sharded_evictions;
+      sharded.erase(victim);
+    }
+    sharded.push_back(ShardedSlot{
+        shards, ++sharded_clock,
+        std::make_unique<shard::ShardedEngine<DIM>>(*points, shards)});
+    return *sharded.back().engine;
   }
 };
 
@@ -162,13 +197,18 @@ EngineCounters counters_typed(const void* holder) {
   const auto* h = static_cast<const EngineHolder<DIM>*>(holder);
   EngineCounters c = h->engine.counters();
   // Fold the sharded executors' amortization into the dataset's counters
-  // so pool/dataset telemetry sees sharded traffic too.
-  for (const auto& [shards, engine] : h->sharded) {
-    const shard::ShardedCounters& sc = engine->counters();
+  // so pool/dataset telemetry sees sharded traffic too — including the
+  // retired tallies of evicted executors (keeps runs monotone).
+  for (const auto& slot : h->sharded) {
+    const shard::ShardedCounters& sc = slot.engine->counters();
     c.runs += sc.runs;
     c.index_builds += sc.index_builds;
     c.workspace_reallocs += sc.workspace_reallocs;
   }
+  c.runs += h->retired_runs;
+  c.index_builds += h->retired_index_builds;
+  c.workspace_reallocs += h->retired_workspace_reallocs;
+  c.sharded_evictions = h->sharded_evictions;
   return c;
 }
 
@@ -202,6 +242,25 @@ Clustering run_typed(void* holder, const Parameters& params,
   }
   return fdbscan_auto(h->engine, params, options).clustering;
 }
+
+/// Strict parse of a FDBSCAN_SERVICE_* knob value: the whole string must
+/// be a base-10 integer that fits in int and is > 0. Anything else —
+/// empty, trailing junk, zero, negative, overflow — is rejected
+/// (std::nullopt) and from_env() warns once per variable on stderr
+/// instead of silently falling back. Exposed for tests.
+[[nodiscard]] std::optional<int> parse_positive_env_int(const char* value);
+
+/// One registered deadline in the watchdog heap. weak_ptr so an
+/// already-resolved request cannot be kept alive (or touched) by a
+/// stale deadline; the generation (captured at registration) makes
+/// firing conditional — request_cancel_if() is a no-op on a token that
+/// was reset() and reused for a later request, so a not-yet-due entry
+/// from request A cannot cancel request B (DESIGN.md §10).
+struct WatchdogEntry {
+  std::int64_t due_ns = 0;
+  std::weak_ptr<exec::CancelToken> token;
+  std::uint32_t generation = 0;
+};
 
 }  // namespace detail
 
@@ -253,6 +312,7 @@ class ClusterService {
     req.options = submit.options;
     req.method = submit.method;
     req.shards = shards;
+    req.token_private = (submit.token == nullptr);
     req.token = submit.token ? std::move(submit.token)
                              : std::make_shared<exec::CancelToken>();
     req.promise = std::move(promise);
@@ -286,6 +346,11 @@ class ClusterService {
     Method method = Method::kAuto;
     std::int32_t shards = 1;
     std::shared_ptr<exec::CancelToken> token;
+    /// True when the service created the token itself. The deadline_ms
+    /// <= 0 fast-fail may only raise private tokens: poisoning a
+    /// caller's shared token would cancel the caller's other in-flight
+    /// requests (DESIGN.md §10).
+    bool token_private = false;
     std::int64_t submit_ns = 0;
     std::promise<ServiceResult> promise;
     std::function<std::shared_ptr<void>()> make_engine;
@@ -347,13 +412,12 @@ class ClusterService {
   int active_ = 0;       // guarded by queue_mutex_
   bool stopping_ = false;  // guarded by queue_mutex_
 
-  // Deadline watchdog: min-heap of (absolute trace_now_ns deadline,
-  // token). weak_ptr so an already-resolved request cannot be kept
-  // alive (or touched) by a stale deadline.
+  // Deadline watchdog: min-heap of detail::WatchdogEntry (absolute
+  // trace_now_ns deadline, token, token generation — see the struct doc
+  // for the generation contract).
   std::mutex wd_mutex_;
   std::condition_variable wd_cv_;
-  std::vector<std::pair<std::int64_t, std::weak_ptr<exec::CancelToken>>>
-      wd_heap_;  // guarded by wd_mutex_
+  std::vector<detail::WatchdogEntry> wd_heap_;  // guarded by wd_mutex_
   bool wd_stop_ = false;
 
   std::atomic<std::int64_t> submitted_{0};

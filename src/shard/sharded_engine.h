@@ -554,15 +554,22 @@ class ShardedEngine {
       // A shard with no owned points answers no queries: it keeps its
       // ghost tally for the stats but builds neither points nor engine.
       if (s.owned > 0) {
+        // One gather fills both layouts: the AoS copy the engine borrows
+        // by address, and the SoA mirror its index build consumes
+        // (released by the engine after the build).
         s.local_points.resize(s.ids.size());
+        PointsStore<DIM> soa;
+        soa.resize(static_cast<std::int64_t>(s.ids.size()));
         exec::parallel_for("shard/plan/gather",
                            static_cast<std::int64_t>(s.ids.size()),
                            [&](std::int64_t k) {
-          s.local_points[static_cast<std::size_t>(k)] =
-              points[static_cast<std::size_t>(
-                  s.ids[static_cast<std::size_t>(k)])];
+          const auto& p = points[static_cast<std::size_t>(
+              s.ids[static_cast<std::size_t>(k)])];
+          s.local_points[static_cast<std::size_t>(k)] = p;
+          soa.set(k, p);
         });
-        s.engine = std::make_unique<Engine<DIM>>(s.local_points);
+        s.engine =
+            std::make_unique<Engine<DIM>>(s.local_points, std::move(soa));
       }
     }
     ++counters_.plans_built;

@@ -50,6 +50,36 @@ TEST(CancelToken, ResetRearms) {
   EXPECT_EQ(token.reason(), CancelReason::kDeadlineExceeded);
 }
 
+TEST(CancelToken, ResetAdvancesTheGeneration) {
+  CancelToken token;
+  EXPECT_EQ(token.generation(), 0u);
+  token.reset();
+  EXPECT_EQ(token.generation(), 1u);
+  token.request_cancel();
+  token.reset();  // clears the reason AND bumps the generation
+  EXPECT_EQ(token.generation(), 2u);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ConditionalRaiseIsInertAcrossAReset) {
+  // The watchdog pattern (service/service.h): capture the generation at
+  // registration; a reset() before the deadline fires must turn the
+  // raise into a no-op on the token's next user.
+  CancelToken token;
+  const std::uint32_t stale = token.generation();
+  token.reset();
+  EXPECT_FALSE(token.request_cancel_if(stale, CancelReason::kDeadlineExceeded));
+  EXPECT_FALSE(token.cancelled());
+  // With the current generation it fires normally...
+  EXPECT_TRUE(token.request_cancel_if(token.generation(),
+                                      CancelReason::kDeadlineExceeded));
+  EXPECT_EQ(token.reason(), CancelReason::kDeadlineExceeded);
+  // ...and never overrides a reason that is already set.
+  EXPECT_FALSE(token.request_cancel_if(token.generation(),
+                                       CancelReason::kCancelled));
+  EXPECT_EQ(token.reason(), CancelReason::kDeadlineExceeded);
+}
+
 TEST(CancelScope, InstallsAndRestoresNested) {
   EXPECT_EQ(active_cancel_token(), nullptr);
   CancelToken outer, inner;

@@ -76,6 +76,39 @@ TEST(ErrorCode, ServiceCodesSpellTheirCondition) {
 
 // --- Configuration -------------------------------------------------------
 
+TEST(ServiceConfig, StrictEnvParseRejectsEverythingButPositiveInts) {
+  using detail::parse_positive_env_int;
+  EXPECT_EQ(parse_positive_env_int("5"), 5);
+  EXPECT_EQ(parse_positive_env_int("64"), 64);
+  EXPECT_EQ(parse_positive_env_int("2147483647"),
+            std::numeric_limits<int>::max());
+  EXPECT_EQ(parse_positive_env_int(nullptr), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int(""), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("0"), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("-3"), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("banana"), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("12abc"), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("3.5"), std::nullopt);
+  EXPECT_EQ(parse_positive_env_int("2147483648"), std::nullopt);  // > int
+  EXPECT_EQ(parse_positive_env_int("99999999999999999999"), std::nullopt);
+}
+
+TEST(ServiceConfig, InvalidEnvValuesFallBackToDefaultsWithAWarning) {
+  // Pre-fix these silently became the defaults via atoi(); the value
+  // contract (defaults) is what we can assert — the once-per-variable
+  // stderr warning is exercised but not captured here.
+  ::setenv("FDBSCAN_SERVICE_QUEUE_CAP", "banana", 1);
+  ::setenv("FDBSCAN_SERVICE_DISPATCHERS", "0", 1);
+  ::setenv("FDBSCAN_SERVICE_SHARDS", "-2", 1);
+  const ServiceConfig config = ServiceConfig::from_env();
+  EXPECT_EQ(config.queue_capacity, ServiceConfig{}.queue_capacity);
+  EXPECT_EQ(config.dispatchers, ServiceConfig{}.dispatchers);
+  EXPECT_EQ(config.shards, ServiceConfig{}.shards);
+  ::unsetenv("FDBSCAN_SERVICE_QUEUE_CAP");
+  ::unsetenv("FDBSCAN_SERVICE_DISPATCHERS");
+  ::unsetenv("FDBSCAN_SERVICE_SHARDS");
+}
+
 TEST(ServiceConfig, FromEnvReadsTheKnobs) {
   ::setenv("FDBSCAN_SERVICE_QUEUE_CAP", "5", 1);
   ::setenv("FDBSCAN_SERVICE_DISPATCHERS", "3", 1);
@@ -363,6 +396,123 @@ TEST(ClusterService, DeadlineExpiresMidRun) {
   ASSERT_FALSE(result.has_value());
   EXPECT_EQ(result.error().code, ErrorCode::kDeadlineExceeded);
   EXPECT_EQ(service.metrics().deadline_exceeded, 1);
+}
+
+TEST(ClusterService, TokenReuseAfterDeadlineIsNotCancelledByStaleEntry) {
+  // Regression: the watchdog heap keeps a request's deadline entry until
+  // it comes due. A caller that completed well inside the deadline,
+  // reset() the token, and resubmitted it used to get the new request
+  // cancelled when the first request's (now stale) deadline fired. The
+  // per-request generation captured at registration makes that firing a
+  // no-op.
+  const auto points = shared_points(2000, 22);
+  const Parameters params{0.03f, 10};
+  ClusterService service;
+  auto token = std::make_shared<CancelToken>();
+  SubmitOptions with_deadline;
+  with_deadline.deadline_ms = 300.0;
+  with_deadline.token = token;
+  ASSERT_TRUE(
+      service.submit<2>("ds", points, params, with_deadline).get().has_value());
+  ASSERT_FALSE(token->cancelled());
+
+  token->reset();
+  // Let the first request's deadline come due while the token is armed
+  // for its next use; the stale entry must not raise it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_FALSE(token->cancelled())
+      << "stale watchdog deadline cancelled a reset token";
+
+  SubmitOptions reuse;
+  reuse.token = token;  // no deadline this time
+  const auto result = service.submit<2>("ds", points, params, reuse).get();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(token->cancelled());
+  service.wait_idle();
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.deadline_exceeded, 0);
+  EXPECT_EQ(m.submitted, m.completed + m.rejected + m.cancelled +
+                             m.deadline_exceeded + m.failed);
+}
+
+TEST(ClusterService, ZeroDeadlineDoesNotPoisonCallersSharedToken) {
+  // Regression: the deadline_ms <= 0 fast-fail used to raise the
+  // request's token unconditionally. With a caller-supplied token shared
+  // across requests, that rejection cancelled the caller's *other*
+  // in-flight work. Only service-private tokens may be raised there.
+  const auto points = shared_points(2000, 23);
+  const Parameters params{0.03f, 10};
+  ClusterService service;
+  auto shared_token = std::make_shared<CancelToken>();
+
+  SubmitOptions expired;
+  expired.deadline_ms = 0.0;
+  expired.token = shared_token;
+  const auto rejected = service.submit<2>("ds", points, params, expired).get();
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(shared_token->cancelled())
+      << "fast-fail poisoned a caller-owned token";
+
+  // A sibling request sharing the token still completes.
+  SubmitOptions sibling;
+  sibling.token = shared_token;
+  EXPECT_TRUE(service.submit<2>("ds", points, params, sibling).get().has_value());
+
+  // The service-private case still fails fast the same way (nothing to
+  // observe about the token; the error and the metrics are the contract).
+  SubmitOptions private_expired;
+  private_expired.deadline_ms = -1.0;
+  const auto rejected2 =
+      service.submit<2>("ds", points, params, private_expired).get();
+  ASSERT_FALSE(rejected2.has_value());
+  EXPECT_EQ(rejected2.error().code, ErrorCode::kDeadlineExceeded);
+
+  service.wait_idle();
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.deadline_exceeded, 2);
+  EXPECT_EQ(m.submitted, m.completed + m.rejected + m.cancelled +
+                             m.deadline_exceeded + m.failed);
+}
+
+TEST(ClusterService, ShardedExecutorCacheIsBoundedWithEvictionsCounted) {
+  // Regression: EngineHolder::sharded grew one warm ShardedEngine (with
+  // ghost replicas of the dataset) per distinct shard count, forever.
+  // The holder now keeps an LRU of kShardedCapacity (2) and reports
+  // evictions through DatasetStats.
+  const auto points = shared_points(3000, 24);
+  const Parameters params{0.03f, 10};
+  ClusterService service;
+  auto run_sharded = [&](std::int32_t shards) {
+    SubmitOptions submit;
+    submit.shards = shards;
+    return service.submit<2>("ds", points, params, submit).get();
+  };
+  ASSERT_TRUE(run_sharded(2).has_value());
+  ASSERT_TRUE(run_sharded(3).has_value());
+  service.wait_idle();
+  {
+    const auto stats = service.dataset_stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].sharded_evictions, 0);
+    EXPECT_EQ(stats[0].runs, 2);
+  }
+  ASSERT_TRUE(run_sharded(4).has_value());  // third distinct count: evict
+  service.wait_idle();
+  {
+    const auto stats = service.dataset_stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].sharded_evictions, 1);
+    EXPECT_EQ(stats[0].runs, 3) << "eviction lost retired run counts";
+  }
+  ASSERT_TRUE(run_sharded(2).has_value());  // evicted earlier: rebuild
+  service.wait_idle();
+  {
+    const auto stats = service.dataset_stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].sharded_evictions, 2);
+    EXPECT_EQ(stats[0].runs, 4);
+  }
 }
 
 TEST(ClusterService, GenerousDeadlineDoesNotFire) {

@@ -36,6 +36,14 @@ Usage:
                        across the worker x shard sweep, with multi-shard
                        runs present and a nonzero halo volume so the
                        gate cannot pass vacuously
+  bench_compare.py --gate-simd SCALAR.json SIMD.json
+                       check that the vectorized backend does not lose to
+                       the scalar one: over name-matched fdbscan /
+                       fdbscan-densebox entries, the summed traversal-
+                       phase wall time (phase_ms.preprocess + .main) of
+                       the SIMD run must be <= the scalar run's. Exits 2
+                       when the runs' scales differ, and fails when no
+                       entries match (a vacuous gate is a broken one)
 
 Exit codes: 0 ok, 1 regression/drift found, 2 usage or schema error.
 
@@ -312,6 +320,51 @@ def gate_shards(doc, path):
     return violations, checked
 
 
+def gate_simd(scalar_doc, simd_doc):
+    """Two-file gate: the vectorized backend must not lose to the scalar
+    one on the traversal-dominated phases. Over name-matched, non-errored
+    entries whose algo is one of the tree algorithms this repo vectorizes
+    (fdbscan, fdbscan-densebox), sum phase_ms.preprocess + phase_ms.main
+    (index build is gated separately by the ordinary wall comparison) and
+    require simd_sum <= scalar_sum. Zero matched entries or a zero scalar
+    sum is itself a violation — the gate must not pass vacuously."""
+    violations = []
+    if scalar_doc["run"]["scale"] != simd_doc["run"]["scale"]:
+        raise SchemaError(
+            f"scalar scale {scalar_doc['run']['scale']:g} != simd scale "
+            f"{simd_doc['run']['scale']:g} — traversal wall is not "
+            "comparable across problem sizes")
+    vectorized = ("fdbscan", "fdbscan-densebox")
+
+    def traversal_sums(doc):
+        sums = {}
+        for e in doc["entries"]:
+            if e.get("error") or e["algo"] not in vectorized:
+                continue
+            sums[e["name"]] = e["phase_ms"]["preprocess"] + e["phase_ms"]["main"]
+        return sums
+
+    scalar_sums = traversal_sums(scalar_doc)
+    simd_sums = traversal_sums(simd_doc)
+    matched = sorted(set(scalar_sums) & set(simd_sums))
+    scalar_total = sum(scalar_sums[n] for n in matched)
+    simd_total = sum(simd_sums[n] for n in matched)
+    if not matched:
+        violations.append(
+            "no name-matched fdbscan/fdbscan-densebox entries — the SIMD "
+            "gate is vacuous")
+    elif scalar_total <= 0.0:
+        violations.append(
+            f"scalar traversal wall sum is {scalar_total:g} ms over "
+            f"{len(matched)} entries — nothing was measured, the gate is "
+            "vacuous")
+    elif simd_total > scalar_total:
+        violations.append(
+            f"SIMD traversal wall regressed: {simd_total:.3f} ms > scalar "
+            f"{scalar_total:.3f} ms over {len(matched)} matched entries")
+    return violations, matched, scalar_total, simd_total
+
+
 def baseline_path():
     """The committed baseline: the lexicographically greatest
     BENCH_*.json at the repo root (dates sort lexicographically)."""
@@ -405,6 +458,11 @@ def main(argv):
                         help="single-file mode: check the sharding "
                              "contract over entries carrying a "
                              "shards_checked counter (DESIGN.md §11)")
+    parser.add_argument("--gate-simd", action="store_true",
+                        help="two-file mode (SCALAR.json SIMD.json): the "
+                             "SIMD run's summed traversal-phase wall over "
+                             "name-matched fdbscan/fdbscan-densebox "
+                             "entries must not exceed the scalar run's")
     parser.add_argument("--counter-budget-pct", type=float, default=0.0,
                         help="allowed relative drift for the deterministic "
                              "counters (default 0: bit-exact)")
@@ -477,6 +535,22 @@ def main(argv):
             print("ok: shard contract holds (sharded labels match the "
                   "single-engine reference across the worker x shard "
                   "sweep, with nonzero halo volume)")
+            return 0
+        if args.gate_simd:
+            if len(args.files) != 2:
+                parser.error("--gate-simd takes exactly two files: "
+                             "SCALAR.json SIMD.json")
+            violations, matched, scalar_total, simd_total = gate_simd(
+                load(args.files[0]), load(args.files[1]))
+            print(f"compared {len(matched)} matched traversal entries")
+            if matched:
+                print(f"  traversal wall sum: scalar {scalar_total:.3f} ms, "
+                      f"simd {simd_total:.3f} ms")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: SIMD traversal wall <= scalar")
             return 0
         if len(args.files) == 1:
             # Single-file comparison mode: diff the committed baseline
