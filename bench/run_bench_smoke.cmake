@@ -26,9 +26,22 @@
 # overflow; terminal counts partition submitted. It also carries the
 # sharded-equivalence entry (SHARD_BENCHES): --gate-shards requires
 # zero equivalence failures across the worker x shard sweep and a
-# nonzero halo volume, so the gate cannot pass vacuously.
+# nonzero halo volume, so the gate cannot pass vacuously. Its entries
+# also stage the obs registry's per-window deltas (OBS_BENCHES):
+# --gate-obs requires the registry mirror to match ServiceMetrics
+# bit-equal on every shared key.
 #
-# Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, WORK_DIR.
+# Then run fig4_nsweep once more with the observability plane fully lit
+# (FDBSCAN_LOG to a file at debug level): counters must stay bit-exact
+# and the summed wall time within 2% (+ slack) of a fresh back-to-back
+# plain run — the observability-overhead budget of DESIGN.md §13.
+# Finally,
+# tools/fdbscan_statusz.py --run spawns service_throughput, signals it
+# with SIGUSR1 mid-run, and validates the dumped statusz snapshot
+# (Prometheus text parses, bucket sums equal counts, terminal counts
+# partition submitted).
+#
+# Expects: PYTHON, BENCH_DIR, COMPARE, SUMMARY, STATUSZ, WORK_DIR.
 
 cmake_policy(SET CMP0057 NEW)  # IN_LIST operator in script mode
 
@@ -58,6 +71,10 @@ set(SERVICE_BENCHES service_throughput)
 # equivalence is non-vacuous (multi-shard runs happened, halo volume
 # nonzero).
 set(SHARD_BENCHES service_throughput)
+
+# Benches staging obs-registry deltas alongside their service blocks:
+# gated on the mirror cross-check (tools/bench_compare.py --gate-obs).
+set(OBS_BENCHES service_throughput)
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -154,6 +171,21 @@ foreach(bench ${SMOKE_BENCHES})
         "bench_smoke: shard gate failed in ${bench}\n${shd_out}\n${shd_err}")
     endif()
     message(STATUS "bench_smoke: ${bench} shard contract ok\n${shd_out}")
+  endif()
+
+  if(bench IN_LIST OBS_BENCHES)
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --gate-obs
+        ${WORK_DIR}/BENCH_${bench}_t1.json
+        ${WORK_DIR}/BENCH_${bench}_t8.json
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE obs_out
+      ERROR_VARIABLE obs_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: obs mirror gate failed in ${bench}\n${obs_out}\n${obs_err}")
+    endif()
+    message(STATUS "bench_smoke: ${bench} obs mirror ok\n${obs_out}")
   endif()
 endforeach()
 
@@ -268,3 +300,88 @@ if(NOT rc EQUAL 0)
     "bench_smoke: cancellation overhead gate failed for ${cancel_bench}\n${cmp_out}\n${cmp_err}")
 endif()
 message(STATUS "bench_smoke: cancel-token ${cancel_bench} ok\n${cmp_out}")
+
+# --- Observability-overhead gate ------------------------------------------
+# The same bench with the structured log fully lit (file sink at debug
+# level, so every suppressed-event check AND every emission is on the
+# measured path): counters must stay bit-exact and the summed wall time
+# within the 2% DESIGN.md §13 budget. A 2% wall budget is well below
+# the run-to-run noise of a smoke-scale sweep, so the baseline is a
+# fresh plain run taken immediately before (not the minutes-old t8
+# run), and the logged run gets a best-of-2: the gate asks "is the obs
+# plane's cost >2%", not "did the machine drift since the t8 pass".
+
+set(obs_bench fig4_nsweep)
+set(obs_baseline ${WORK_DIR}/BENCH_${obs_bench}_obsbase.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    FDBSCAN_BENCH_SCALE=0.02
+    FDBSCAN_NUM_THREADS=8
+    FDBSCAN_BENCH_OUT=${obs_baseline}
+    FDBSCAN_BENCH_DATE=smoke
+    ${BENCH_DIR}/${obs_bench}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: obs-overhead baseline ${obs_bench} exited ${rc}\n${run_out}\n${run_err}")
+endif()
+
+set(obs_gate_ok FALSE)
+foreach(attempt RANGE 1 2)
+  set(obs_telemetry ${WORK_DIR}/BENCH_${obs_bench}_obs${attempt}.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      FDBSCAN_BENCH_SCALE=0.02
+      FDBSCAN_NUM_THREADS=8
+      FDBSCAN_BENCH_OUT=${obs_telemetry}
+      FDBSCAN_BENCH_DATE=smoke
+      FDBSCAN_LOG=${WORK_DIR}/smoke_obs_log.jsonl
+      FDBSCAN_LOG_LEVEL=debug
+      ${BENCH_DIR}/${obs_bench}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench_smoke: obs-overhead ${obs_bench} exited ${rc}\n${run_out}\n${run_err}")
+  endif()
+
+  execute_process(
+    COMMAND ${PYTHON} ${COMPARE} --skip-wall --wall-sum-budget-pct 2
+      ${obs_baseline}
+      ${obs_telemetry}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE cmp_out
+    ERROR_VARIABLE cmp_err)
+  if(rc EQUAL 0)
+    set(obs_gate_ok TRUE)
+    break()
+  endif()
+  message(STATUS
+    "bench_smoke: obs-overhead attempt ${attempt} over budget, retrying\n${cmp_out}")
+endforeach()
+if(NOT obs_gate_ok)
+  message(FATAL_ERROR
+    "bench_smoke: observability overhead gate failed for ${obs_bench}\n${cmp_out}\n${cmp_err}")
+endif()
+message(STATUS "bench_smoke: obs-overhead ${obs_bench} ok\n${cmp_out}")
+
+# --- Live statusz check ----------------------------------------------------
+# Spawn service_throughput, SIGUSR1 it mid-run, and validate the dumped
+# snapshot: Prometheus text parses, histogram bucket sums equal their
+# counts, and the fdbscan_service_* terminal counters partition
+# submitted (the ISSUE's acceptance criterion for the dump path).
+
+execute_process(
+  COMMAND ${PYTHON} ${STATUSZ} --run ${BENCH_DIR}/service_throughput
+    --workdir ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stz_out
+  ERROR_VARIABLE stz_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: live statusz check failed\n${stz_out}\n${stz_err}")
+endif()
+message(STATUS "bench_smoke: live statusz ok\n${stz_out}")

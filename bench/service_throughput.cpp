@@ -23,6 +23,9 @@
 //
 // Each entry stages its ServiceMetrics into the telemetry "service"
 // block; tools/bench_compare.py --gate-service enforces the invariants.
+// Entries additionally stage the obs registry's per-window delta of the
+// fdbscan_service_* mirrors as the "obs" block — bench_compare.py
+// --gate-obs cross-checks the two bit-equal.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -36,6 +39,7 @@
 #include "core/validate.h"
 #include "data/generators.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace {
@@ -76,11 +80,56 @@ void stage_metrics(const ClusterService& svc) {
   block.emplace_back("deadline_exceeded",
                      static_cast<double>(m.deadline_exceeded));
   block.emplace_back("failed", static_cast<double>(m.failed));
+  block.emplace_back("queue_wait_count",
+                     static_cast<double>(m.queue_wait.count));
+  block.emplace_back("queue_wait_total_ms", m.queue_wait.total_ms);
   block.emplace_back("queue_wait_mean_ms", m.queue_wait.mean_ms());
   block.emplace_back("queue_wait_max_ms", m.queue_wait.max_ms);
+  block.emplace_back("run_count", static_cast<double>(m.run_time.count));
+  block.emplace_back("run_total_ms", m.run_time.total_ms);
   block.emplace_back("run_time_mean_ms", m.run_time.mean_ms());
   block.emplace_back("run_time_max_ms", m.run_time.max_ms);
   telemetry::stage_service_block(std::move(block));
+}
+
+/// The obs registry's view of the entry window, flattened under the same
+/// key names stage_metrics uses, so --gate-obs can compare shared keys
+/// bit-equal. The service mirror feeds both sides the identical integers
+/// (ObsMirror in service.h), so after wait_idle() the per-window delta
+/// of a single-service entry must match its ServiceMetrics exactly.
+void stage_obs_delta(const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot d =
+      obs::metrics_delta(before, obs::snapshot_metrics());
+  std::vector<std::pair<std::string, double>> block;
+  const auto counter = [&](const char* name) {
+    for (const auto& c : d.counters) {
+      if (c.name == name) return static_cast<double>(c.value);
+    }
+    return 0.0;
+  };
+  const auto hist = [&](const char* name) {
+    for (const auto& h : d.histograms) {
+      if (h.name == name) return h.data;
+    }
+    return obs::HistogramSnapshot{};
+  };
+  block.emplace_back("submitted", counter("fdbscan_service_submitted_total"));
+  block.emplace_back("completed", counter("fdbscan_service_completed_total"));
+  block.emplace_back("rejected", counter("fdbscan_service_rejected_total"));
+  block.emplace_back("cancelled", counter("fdbscan_service_cancelled_total"));
+  block.emplace_back("deadline_exceeded",
+                     counter("fdbscan_service_deadline_exceeded_total"));
+  block.emplace_back("failed", counter("fdbscan_service_failed_total"));
+  const obs::HistogramSnapshot qw = hist("fdbscan_service_queue_wait");
+  const obs::HistogramSnapshot rt = hist("fdbscan_service_run_time");
+  block.emplace_back("queue_wait_count", static_cast<double>(qw.count));
+  // Same ns->ms conversion as LatencySummary::snapshot(): identical
+  // int64 in, bit-identical double out.
+  block.emplace_back("queue_wait_total_ms",
+                     static_cast<double>(qw.total_ns) * 1e-6);
+  block.emplace_back("run_count", static_cast<double>(rt.count));
+  block.emplace_back("run_total_ms", static_cast<double>(rt.total_ns) * 1e-6);
+  telemetry::stage_obs_block(std::move(block));
 }
 
 void register_all() {
@@ -98,6 +147,7 @@ void register_all() {
       "service_throughput/closed_loop/datasets=2/n=" + std::to_string(n),
       RunMeta{"gaussian", "service", n},
       [=](benchmark::State& state) {
+        const obs::MetricsSnapshot obs_before = obs::snapshot_metrics();
         ServiceConfig config;
         config.dispatchers = 2;
         config.queue_capacity = 8;
@@ -134,6 +184,7 @@ void register_all() {
         state.counters["rejected"] =
             static_cast<double>(svc.metrics().rejected);
         stage_metrics(svc);
+        stage_obs_delta(obs_before);
       });
 
   // --- Deterministic overload --------------------------------------------
@@ -141,6 +192,7 @@ void register_all() {
       "service_throughput/overload/extra=6",
       RunMeta{"gaussian", "service", n_big},
       [=](benchmark::State& state) {
+        const obs::MetricsSnapshot obs_before = obs::snapshot_metrics();
         ServiceConfig config;
         config.dispatchers = 1;
         config.queue_capacity = 4;
@@ -177,6 +229,7 @@ void register_all() {
         state.counters["expected_rejected"] = kExtra;
         state.counters["rejected"] = rejected;
         stage_metrics(svc);
+        stage_obs_delta(obs_before);
       });
 
   // --- Sharded equivalence gate -------------------------------------------
@@ -246,6 +299,7 @@ void register_all() {
       "service_throughput/cancel_latency/n=" + std::to_string(n_big),
       RunMeta{"gaussian", "service", n_big},
       [=](benchmark::State& state) {
+        const obs::MetricsSnapshot obs_before = obs::snapshot_metrics();
         ClusterService svc;
         const auto big = make_dataset(n_big, 42);
         auto token = std::make_shared<exec::CancelToken>();
@@ -267,6 +321,7 @@ void register_all() {
         state.counters["cancelled"] =
             static_cast<double>(svc.metrics().cancelled);
         stage_metrics(svc);
+        stage_obs_delta(obs_before);
       });
 
   // --- Deadlines -----------------------------------------------------------
@@ -274,6 +329,7 @@ void register_all() {
       "service_throughput/deadline/n=" + std::to_string(n_big),
       RunMeta{"gaussian", "service", n_big},
       [=](benchmark::State& state) {
+        const obs::MetricsSnapshot obs_before = obs::snapshot_metrics();
         ServiceConfig config;
         config.dispatchers = 1;
         ClusterService svc(config);
@@ -312,6 +368,7 @@ void register_all() {
         state.counters["deadline_exceeded"] =
             static_cast<double>(svc.metrics().deadline_exceeded);
         stage_metrics(svc);
+        stage_obs_delta(obs_before);
       });
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/statusz.h"
 
 namespace fdbscan::bench::telemetry {
 
@@ -94,11 +95,20 @@ std::vector<std::pair<std::string, double>>& staged_service_block() {
   return block;
 }
 
+std::vector<std::pair<std::string, double>>& staged_obs_block() {
+  static std::vector<std::pair<std::string, double>> block;
+  return block;
+}
+
 void record(TelemetryEntry entry) {
   std::lock_guard<std::mutex> lock(registry_mutex());
   if (entry.service.empty() && !staged_service_block().empty()) {
     entry.service = std::move(staged_service_block());
     staged_service_block().clear();
+  }
+  if (entry.obs.empty() && !staged_obs_block().empty()) {
+    entry.obs = std::move(staged_obs_block());
+    staged_obs_block().clear();
   }
   registry().push_back(std::move(entry));
 }
@@ -107,6 +117,11 @@ void stage_service_block(
     std::vector<std::pair<std::string, double>> service) {
   std::lock_guard<std::mutex> lock(registry_mutex());
   staged_service_block() = std::move(service);
+}
+
+void stage_obs_block(std::vector<std::pair<std::string, double>> obs) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  staged_obs_block() = std::move(obs);
 }
 
 void set_binary_name(const char* argv0) {
@@ -208,6 +223,16 @@ std::string write_json() {
       }
       out += "}";
     }
+    if (!e.obs.empty()) {
+      out += ",\n     \"obs\": {";
+      for (std::size_t s = 0; s < e.obs.size(); ++s) {
+        if (s > 0) out += ", ";
+        append_escaped(out, e.obs[s].first);
+        out += ": ";
+        append_number(out, e.obs[s].second);
+      }
+      out += "}";
+    }
     if (!e.error.empty()) {
       out += ", \"error\": ";
       append_escaped(out, e.error);
@@ -234,8 +259,11 @@ std::string write_json() {
 }  // namespace fdbscan::bench::telemetry
 
 // The bench entry point: identical to benchmark_main, plus the telemetry
-// flush once the run completes.
+// flush once the run completes. SIGUSR1 dumps a statusz snapshot of the
+// obs registry at any point during the run (EXPERIMENTS.md "Inspecting a
+// live service").
 int main(int argc, char** argv) {
+  fdbscan::obs::statusz_install();
   fdbscan::bench::telemetry::set_binary_name(argc > 0 ? argv[0] : nullptr);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fdbscan.h"
+#include "obs/statusz.h"
 
 namespace {
 
@@ -34,6 +35,9 @@ const char* outcome(const fdbscan::service::ServiceResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // SIGUSR1 dumps a statusz snapshot of the metrics registry
+  // (FDBSCAN_STATUSZ selects the sink; see DESIGN.md §13).
+  fdbscan::obs::statusz_install();
   const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
   using fdbscan::service::ClusterService;
   using fdbscan::service::ServiceConfig;

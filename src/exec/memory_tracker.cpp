@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "exec/trace.h"
+#include "obs/metrics.h"
 
 namespace fdbscan::exec {
+
+namespace {
+
+// Registry mirrors (DESIGN.md §13). Trackers are per-run objects and
+// not thread-safe individually, but many can be live at once, so the
+// registry publishes process-wide monotonic byte totals plus a
+// high-water mark of any single tracker's peak — an exact global
+// "current" across concurrent trackers does not exist.
+struct MemoryMetrics {
+  obs::Counter& charged =
+      obs::counter("fdbscan_memory_charged_bytes_total");
+  obs::Counter& released =
+      obs::counter("fdbscan_memory_released_bytes_total");
+  obs::Gauge& peak = obs::gauge("fdbscan_memory_peak_bytes");
+};
+
+MemoryMetrics& memory_metrics() {
+  static MemoryMetrics m;
+  return m;
+}
+
+}  // namespace
 
 void MemoryTracker::charge(std::size_t bytes) {
   if (budget_ != 0 && current_ + bytes > budget_) {
@@ -12,6 +35,9 @@ void MemoryTracker::charge(std::size_t bytes) {
   }
   current_ += bytes;
   peak_ = std::max(peak_, current_);
+  MemoryMetrics& m = memory_metrics();
+  m.charged.inc(static_cast<std::int64_t>(bytes));
+  m.peak.update_max(static_cast<std::int64_t>(peak_));
   if (trace_enabled()) {
     trace_record_counter("device_memory",
                          static_cast<std::int64_t>(current_));
@@ -20,6 +46,7 @@ void MemoryTracker::charge(std::size_t bytes) {
 
 void MemoryTracker::release(std::size_t bytes) noexcept {
   current_ = bytes > current_ ? 0 : current_ - bytes;
+  memory_metrics().released.inc(static_cast<std::int64_t>(bytes));
   if (trace_enabled()) {
     trace_record_counter("device_memory",
                          static_cast<std::int64_t>(current_));

@@ -10,6 +10,7 @@
 #include "exec/profile.h"
 #include "exec/timer.h"
 #include "exec/trace.h"
+#include "obs/metrics.h"
 
 namespace fdbscan::exec {
 
@@ -68,9 +69,46 @@ void profile_add_busy(double seconds) noexcept {
   }
 }
 
+// Registry mirrors of the launch-granularity runtime metrics
+// (DESIGN.md §13). References resolved once; every update below is one
+// relaxed RMW, added only at launch granularity — never per chunk — so
+// the hot chunk-claim loop keeps its striped-accumulator discipline.
+struct ExecMetrics {
+  obs::Counter& launches = obs::counter("fdbscan_exec_launches_total");
+  obs::Counter& chunks = obs::counter("fdbscan_exec_chunks_total");
+  obs::Counter& cancel_polls =
+      obs::counter("fdbscan_exec_cancel_polls_total");
+  obs::Gauge& inflight = obs::gauge("fdbscan_exec_inflight_launches");
+};
+
+ExecMetrics& exec_metrics() {
+  static ExecMetrics m;
+  return m;
+}
+
+// Holds fdbscan_exec_inflight_launches up for the guard's lifetime;
+// exception-safe (a throwing kernel body still decrements).
+class InflightGuard {
+ public:
+  explicit InflightGuard(bool active) : active_(active) {
+    if (active_) exec_metrics().inflight.add(1);
+  }
+  ~InflightGuard() {
+    if (active_) exec_metrics().inflight.add(-1);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  bool active_;
+};
+
 void profile_add_launch(std::int64_t chunks) noexcept {
   g_profile_launches.fetch_add(1, std::memory_order_relaxed);
   g_profile_chunks.fetch_add(chunks, std::memory_order_relaxed);
+  ExecMetrics& m = exec_metrics();
+  m.launches.inc();
+  m.chunks.inc(chunks);
 }
 
 }  // namespace
@@ -209,9 +247,13 @@ void ThreadPool::work(std::uint64_t /*generation*/) {
   // a raised token only stops the chunk-claim loop.
   const CancelToken* saved_token = t_cancel_token;
   t_cancel_token = token;
+  std::int64_t my_polls = 0;
   ++t_parallel_depth;
   for (;;) {
-    if (token && token->cancelled()) break;
+    if (token) {
+      ++my_polls;
+      if (token->cancelled()) break;
+    }
     std::int64_t begin = atomic_fetch_add(job_next_, grain);
     if (begin >= n) break;
     body(begin, std::min(begin + grain, n));
@@ -220,6 +262,7 @@ void ThreadPool::work(std::uint64_t /*generation*/) {
   --t_parallel_depth;
   t_cancel_token = saved_token;
   profile_add_busy(busy.seconds());
+  if (my_polls > 0) exec_metrics().cancel_polls.inc(my_polls);
   if (tracing && my_chunks > 0) {
     trace_record_kernel(name, trace_begin, trace_now_ns(), my_chunks,
                         TraceKernelKind::kWorker);
@@ -241,14 +284,20 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
     // cannot deadlock on the busy pool — and (b) the no-worker / tiny-n
     // fast path.
     Timer busy;
+    const InflightGuard inflight(t_parallel_depth == 0);
+    std::int64_t my_polls = 0;
     ++t_parallel_depth;
     for (std::int64_t b = 0; b < n; b += grain) {
-      if (token && token->cancelled()) break;
+      if (token) {
+        ++my_polls;
+        if (token->cancelled()) break;
+      }
       body(b, std::min(b + grain, n));
     }
     --t_parallel_depth;
     profile_add_busy(busy.seconds());
     profile_add_launch(chunks);
+    if (my_polls > 0) exec_metrics().cancel_polls.inc(my_polls);
     if (tracing) {
       trace_record_kernel(name, trace_begin, trace_now_ns(), chunks,
                           TraceKernelKind::kInline);
@@ -265,6 +314,7 @@ void ThreadPool::run(const char* name, std::int64_t n, std::int64_t grain,
   // Top-level dispatches from distinct user threads are serialized: the
   // pool holds a single job slot.
   std::lock_guard<std::mutex> launch(launch_mutex_);
+  const InflightGuard inflight(true);
   std::uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mutex_);

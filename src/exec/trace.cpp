@@ -28,11 +28,12 @@ namespace {
 constexpr int kMaxTraceThreads = 256;
 
 struct TraceEvent {
-  const char* name = nullptr;
+  const char* name = nullptr;    // nullptr = slot not yet committed
   const char* cat = nullptr;     // spans only ("phase" / "entry")
   std::int64_t begin_ns = 0;
   std::int64_t end_ns = 0;       // counters: unused
-  std::int64_t value = 0;        // kernels: chunks; counters: sample
+  std::int64_t value = 0;        // kernels: chunks; counters: sample;
+                                 // spans: request id (0 = none)
   std::uint8_t kind = 0;         // TraceKernelKind, or kSpan / kCounter
 };
 
@@ -57,6 +58,10 @@ std::atomic<std::int64_t> g_dropped{0};
 // (which occupy [0, num_threads)).
 thread_local int t_trace_slot = -1;
 std::atomic<int> g_next_registered_slot{kMaxTraceThreads - 1};
+
+// Request-correlation tag (obs/request_id.h installs it around each
+// service request). Attached to spans recorded by this thread.
+thread_local std::uint64_t t_request_id = 0;
 
 std::mutex g_trace_mutex;  // guards path / interning / state transitions
 std::string g_trace_path;
@@ -103,7 +108,29 @@ void record(const TraceEvent& ev) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  mem[idx] = ev;
+  // Commit protocol for concurrent flushes (trace_flush() may run from
+  // the SIGUSR1 statusz thread while we write): the slot's name doubles
+  // as the committed flag. Invalidate it, fill the payload, then
+  // publish the name with a release-store; readers acquire-load the
+  // name and skip the slot while it is nullptr. Fresh slots start at
+  // nullptr (value-initialized), so the first store is redundant there
+  // but keeps reused buffers (trace_reset) on the same protocol.
+  TraceEvent& dst = mem[idx];
+  std::atomic_ref<const char*> name_ref(dst.name);
+  name_ref.store(nullptr, std::memory_order_release);
+  dst.cat = ev.cat;
+  dst.begin_ns = ev.begin_ns;
+  dst.end_ns = ev.end_ns;
+  dst.value = ev.value;
+  dst.kind = ev.kind;
+  name_ref.store(ev.name, std::memory_order_release);
+}
+
+// Acquire-load of a slot's committed-flag / name. nullptr = claimed by
+// a writer but not yet committed (or never written): skip the slot.
+const char* committed_name(TraceEvent& ev) {
+  return std::atomic_ref<const char*>(ev.name).load(
+      std::memory_order_acquire);
 }
 
 std::uint64_t slot_count(const ThreadBuffer& b) {
@@ -175,7 +202,7 @@ void enable_locked(const std::string& path) {
     g_atexit_registered = true;
     std::atexit(flush_at_exit);
   }
-  trace_now_ns();  // pin the epoch before the first event
+  (void)trace_now_ns();  // pin the epoch before the first event
   trace_detail::g_trace_state.store(2, std::memory_order_release);
 }
 
@@ -282,9 +309,16 @@ void trace_record_span(const char* name, std::int64_t begin_ns,
   ev.cat = cat ? cat : "phase";
   ev.begin_ns = begin_ns;
   ev.end_ns = end_ns;
+  ev.value = static_cast<std::int64_t>(t_request_id);  // spans: rid tag
   ev.kind = kSpan;
   record(ev);
 }
+
+void trace_set_request_id(std::uint64_t rid) noexcept {
+  t_request_id = rid;
+}
+
+std::uint64_t trace_request_id() noexcept { return t_request_id; }
 
 void trace_record_counter(const char* name, std::int64_t value) {
   if (!trace_enabled()) return;
@@ -315,8 +349,8 @@ std::vector<KernelAggregate> trace_kernel_aggregates(const TraceCursor& since) {
   };
   std::map<std::string, Agg> by_name;
   for (int tid = 0; tid < kMaxTraceThreads; ++tid) {
-    const ThreadBuffer& b = g_buffers[tid];
-    const TraceEvent* mem = b.events.load(std::memory_order_acquire);
+    ThreadBuffer& b = g_buffers[tid];
+    TraceEvent* mem = b.events.load(std::memory_order_acquire);
     if (!mem) continue;
     const std::uint64_t from =
         tid < static_cast<int>(since.counts.size())
@@ -324,10 +358,12 @@ std::vector<KernelAggregate> trace_kernel_aggregates(const TraceCursor& since) {
             : 0;
     const std::uint64_t to = slot_count(b);
     for (std::uint64_t i = from; i < to; ++i) {
+      const char* name = committed_name(mem[i]);
+      if (!name) continue;  // claimed, not yet committed
       const TraceEvent& ev = mem[i];
       if (ev.kind > static_cast<std::uint8_t>(TraceKernelKind::kInline))
         continue;
-      Agg& a = by_name[ev.name];
+      Agg& a = by_name[name];
       const double ms =
           static_cast<double>(ev.end_ns - ev.begin_ns) * 1e-6;
       const auto kind = static_cast<TraceKernelKind>(ev.kind);
@@ -383,11 +419,15 @@ std::string trace_flush() {
   std::vector<std::vector<Slice>> per_tid(kMaxTraceThreads);
   std::vector<const TraceEvent*> counters;
   for (int tid = 0; tid < kMaxTraceThreads; ++tid) {
-    const ThreadBuffer& b = g_buffers[tid];
-    const TraceEvent* mem = b.events.load(std::memory_order_acquire);
+    ThreadBuffer& b = g_buffers[tid];
+    TraceEvent* mem = b.events.load(std::memory_order_acquire);
     if (!mem) continue;
     const std::uint64_t n = slot_count(b);
     for (std::uint64_t i = 0; i < n; ++i) {
+      // Skip claimed-but-uncommitted slots (flush may run concurrently
+      // with recorders — see the record() commit protocol). A committed
+      // slot is never rewritten, so the pointer stays valid below.
+      if (committed_name(mem[i]) == nullptr) continue;
       const TraceEvent& ev = mem[i];
       if (ev.kind == kCounter) {
         counters.push_back(&ev);
@@ -447,6 +487,11 @@ std::string trace_flush() {
       l += ",\"kind\":\"";
       l += kind_label(s.ev->kind);
       l += "\"}";
+    } else if (s.ev->value != 0) {
+      // Spans reuse `value` for the request-correlation tag.
+      l += ",\"args\":{\"rid\":";
+      l += std::to_string(s.ev->value);
+      l += "}";
     }
     l += "}";
     lines.push_back(std::move(l));

@@ -57,6 +57,15 @@ void trace_reset();
 /// Serialize all buffered events to Chrome trace-event JSON. Writes the
 /// file configured by trace_start()/FDBSCAN_TRACE when a path is set, and
 /// returns the JSON text either way.
+///
+/// Safe to call while other threads are still recording (the SIGUSR1
+/// statusz path does exactly that). Partial-buffer semantics: each
+/// per-thread slot is committed by a release-store of its name and read
+/// back with an acquire-load, so a concurrent flush sees each event
+/// either fully or not at all — an event claimed but not yet committed
+/// at flush time is skipped (it appears in the next flush), and no
+/// pointer can be read torn. Only trace_reset() must not race with
+/// recording threads.
 std::string trace_flush();
 
 /// Number of events currently buffered / dropped to full buffers.
@@ -95,9 +104,19 @@ void trace_record_kernel(const char* name, std::int64_t begin_ns,
 
 /// Record a named span [begin_ns, end_ns] (an algorithm phase or a bench
 /// entry) on the calling thread's track. `cat` must be a string with
-/// static storage duration ("phase" or "entry").
+/// static storage duration ("phase" or "entry"). When the calling
+/// thread has a request id installed (trace_set_request_id), the span
+/// carries it as an `args.rid` tag in the flushed JSON.
 void trace_record_span(const char* name, std::int64_t begin_ns,
                        std::int64_t end_ns, const char* cat);
+
+/// Per-thread request-correlation tag: spans recorded while a non-zero
+/// id is installed carry `args.rid` so traces and structured logs can
+/// be joined per request. 0 = no request context. Prefer
+/// obs::RequestScope (obs/request_id.h) over calling these directly —
+/// it restores the previous id on scope exit.
+void trace_set_request_id(std::uint64_t rid) noexcept;
+[[nodiscard]] std::uint64_t trace_request_id() noexcept;
 
 /// Record a counter sample (e.g. device-memory bytes) at trace_now_ns().
 void trace_record_counter(const char* name, std::int64_t value);

@@ -1,0 +1,227 @@
+#include "obs/log.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exec/trace.h"
+#include "obs/metrics.h"
+
+namespace fdbscan::obs {
+
+namespace {
+
+constexpr int kDisabled = 4;
+constexpr std::int64_t kRateWindowNs = 1'000'000'000;
+
+struct LogSink {
+  std::mutex mutex;
+  std::FILE* file = nullptr;  // nullptr = disabled; may be stderr
+  bool owns_file = false;
+
+  struct RateState {
+    std::int64_t window_start_ns = 0;
+    int emitted_in_window = 0;
+    std::int64_t dropped = 0;  // since the last emitted line
+  };
+  std::map<std::string, RateState> rate;  // keyed by event name
+};
+
+LogSink& sink() {
+  static LogSink* s = new LogSink;  // leaked: usable during static dtors
+  return *s;
+}
+
+std::atomic<std::int64_t> g_dropped_total{0};
+
+int parse_level(const char* s, int fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  if (std::strcmp(s, "debug") == 0) return 0;
+  if (std::strcmp(s, "info") == 0) return 1;
+  if (std::strcmp(s, "warn") == 0) return 2;
+  if (std::strcmp(s, "error") == 0) return 3;
+  return fallback;
+}
+
+// Must hold sink().mutex. Applies `spec` + `level_env` and publishes
+// the resulting minimum level (release: the sink fields must be
+// visible to any thread that sees the level).
+void configure_locked(const char* spec, const char* level_env) {
+  LogSink& s = sink();
+  if (s.owns_file && s.file != nullptr) std::fclose(s.file);
+  s.file = nullptr;
+  s.owns_file = false;
+  int min_level = kDisabled;
+  if (spec == nullptr) {
+    // Default: keep warnings/errors visible on stderr, as the ad-hoc
+    // fprintf warnings were before the structured log existed.
+    s.file = stderr;
+    min_level = 2;
+  } else if (std::strcmp(spec, "off") == 0 || std::strcmp(spec, "0") == 0 ||
+             std::strcmp(spec, "none") == 0 || *spec == '\0') {
+    min_level = kDisabled;
+  } else if (std::strcmp(spec, "stderr") == 0) {
+    s.file = stderr;
+    min_level = 1;
+  } else {
+    s.file = std::fopen(spec, "ab");
+    if (s.file != nullptr) {
+      s.owns_file = true;
+      min_level = 1;
+    } else {
+      std::fprintf(stderr, "fdbscan: cannot open FDBSCAN_LOG=\"%s\": %s\n",
+                   spec, std::strerror(errno));
+      s.file = stderr;
+      min_level = 2;
+    }
+  }
+  if (s.file != nullptr) {
+    min_level = parse_level(level_env, min_level);
+  }
+  log_detail::g_log_min_level.store(min_level, std::memory_order_release);
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+Counter& emitted_counter() {
+  static Counter& c = counter("fdbscan_log_emitted_total");
+  return c;
+}
+
+Counter& dropped_counter() {
+  static Counter& c = counter("fdbscan_log_dropped_total");
+  return c;
+}
+
+}  // namespace
+
+namespace log_detail {
+
+int log_state_slow() noexcept {
+  LogSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const int current = g_log_min_level.load(std::memory_order_acquire);
+  if (current >= 0) return current;
+  configure_locked(std::getenv("FDBSCAN_LOG"),
+                   std::getenv("FDBSCAN_LOG_LEVEL"));
+  return g_log_min_level.load(std::memory_order_acquire);
+}
+
+}  // namespace log_detail
+
+void log_init(const std::string& sink_spec, LogLevel min_level) {
+  LogSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  char level_buf[8];
+  std::snprintf(level_buf, sizeof level_buf, "%s", level_name(min_level));
+  configure_locked(sink_spec.c_str(), level_buf);
+  s.rate.clear();
+}
+
+std::int64_t log_dropped_count() {
+  return g_dropped_total.load(std::memory_order_relaxed);
+}
+
+void log_event(LogLevel level, const char* event,
+               std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const std::int64_t now_ns = exec::trace_now_ns();
+  const std::uint64_t rid = exec::trace_request_id();
+
+  // Format the line outside the sink lock; only rate accounting and
+  // the write are serialized.
+  std::string line = "{\"ts_ns\":";
+  line += std::to_string(now_ns);
+  line += ",\"level\":\"";
+  line += level_name(level);
+  line += "\",\"event\":\"";
+  append_escaped(line, event);
+  line += "\"";
+  if (rid != 0) {
+    line += ",\"rid\":";
+    line += std::to_string(rid);
+  }
+  for (const LogField& f : fields) {
+    line += ",\"";
+    append_escaped(line, f.key);
+    line += "\":";
+    switch (f.type) {
+      case LogField::Type::kString:
+        line += "\"";
+        append_escaped(line, f.str);
+        line += "\"";
+        break;
+      case LogField::Type::kInt:
+        line += std::to_string(f.i64);
+        break;
+      case LogField::Type::kFloat: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", f.f64);
+        line += buf;
+        break;
+      }
+      case LogField::Type::kBool:
+        line += f.i64 != 0 ? "true" : "false";
+        break;
+    }
+  }
+
+  LogSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file == nullptr) return;  // re-configured to off since the check
+  LogSink::RateState& rate = s.rate[event];
+  if (now_ns - rate.window_start_ns >= kRateWindowNs) {
+    rate.window_start_ns = now_ns;
+    rate.emitted_in_window = 0;
+  }
+  if (rate.emitted_in_window >= kLogRateLimitPerSec) {
+    ++rate.dropped;
+    g_dropped_total.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter().inc();
+    return;
+  }
+  ++rate.emitted_in_window;
+  if (rate.dropped > 0) {
+    line += ",\"dropped\":";
+    line += std::to_string(rate.dropped);
+    rate.dropped = 0;
+  }
+  line += "}\n";
+  emitted_counter().inc();
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fflush(s.file);
+}
+
+}  // namespace fdbscan::obs

@@ -1,0 +1,96 @@
+// Structured event log (DESIGN.md §13): leveled JSONL with rate
+// limiting, replacing ad-hoc stderr warnings.
+//
+// Sink selection (first use, or log_init() programmatically):
+//   FDBSCAN_LOG unset          -> stderr, minimum level warn (so the
+//                                 strict-parse env warnings keep their
+//                                 pre-obs visibility)
+//   FDBSCAN_LOG=off|none|0     -> fully disabled
+//   FDBSCAN_LOG=stderr         -> stderr, minimum level info
+//   FDBSCAN_LOG=<path>         -> append to <path>, minimum level info
+// FDBSCAN_LOG_LEVEL=debug|info|warn|error overrides the minimum level
+// for whichever sink is active.
+//
+// Cost contract: a suppressed event (below the minimum level, or log
+// disabled) is one relaxed atomic load and an early return — no
+// allocation, no formatting, no lock. An emitted event formats one
+// JSON line on the caller's stack/heap and appends it under a mutex.
+// Per-event-name rate limiting (kLogRateLimitPerSec within a 1 s
+// window) bounds a hot loop's damage; dropped lines are counted
+// (fdbscan_log_dropped_total) and reported in a `dropped` field on the
+// event's next emitted line.
+//
+// Every line carries: ts_ns (trace_now_ns — the same epoch as trace
+// spans, so logs and traces join on time and, when a RequestScope is
+// active, on the `rid` field), level, event, then the call's fields.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace fdbscan::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Emitted lines allowed per event name per one-second window.
+inline constexpr int kLogRateLimitPerSec = 64;
+
+namespace log_detail {
+// Minimum level that emits: 0..3, 4 = disabled, -1 = uninitialized
+// (consult FDBSCAN_LOG / FDBSCAN_LOG_LEVEL on first use).
+inline std::atomic<int> g_log_min_level{-1};
+int log_state_slow() noexcept;
+}  // namespace log_detail
+
+/// True when an event at `level` would be emitted. One relaxed load on
+/// the fast path; call sites may use it to skip expensive field
+/// computation (log_event() also checks, so guarding is optional).
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  int min = log_detail::g_log_min_level.load(std::memory_order_relaxed);
+  if (min < 0) min = log_detail::log_state_slow();
+  return static_cast<int>(level) >= min;
+}
+
+/// One key/value in a log line. Keys must be string literals (or
+/// otherwise outlive the log_event call); string values are borrowed
+/// for the duration of the call only.
+struct LogField {
+  enum class Type { kString, kInt, kFloat, kBool };
+
+  const char* key;
+  Type type;
+  const char* str = "";
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+
+  LogField(const char* k, const char* v)
+      : key(k), type(Type::kString), str(v ? v : "") {}
+  LogField(const char* k, const std::string& v)
+      : key(k), type(Type::kString), str(v.c_str()) {}
+  LogField(const char* k, std::int64_t v)
+      : key(k), type(Type::kInt), i64(v) {}
+  LogField(const char* k, int v) : key(k), type(Type::kInt), i64(v) {}
+  LogField(const char* k, std::uint64_t v)
+      : key(k), type(Type::kInt), i64(static_cast<std::int64_t>(v)) {}
+  LogField(const char* k, double v) : key(k), type(Type::kFloat), f64(v) {}
+  LogField(const char* k, bool v) : key(k), type(Type::kBool), i64(v) {}
+};
+
+/// Emit one JSONL line: {"ts_ns":...,"level":"...","event":"...",
+/// ["rid":N,] ...fields}. `event` should be a stable dotted name
+/// ("service.env_ignored"); it is also the rate-limiting key. No-op
+/// (one relaxed load) when `level` is below the sink's minimum.
+void log_event(LogLevel level, const char* event,
+               std::initializer_list<LogField> fields = {});
+
+/// Programmatic (re)configuration, overriding the environment: `sink`
+/// is "stderr", "off" or a file path. Primarily for tests; safe to
+/// call while other threads log.
+void log_init(const std::string& sink, LogLevel min_level);
+
+/// Lines suppressed by the rate limiter since process start.
+[[nodiscard]] std::int64_t log_dropped_count();
+
+}  // namespace fdbscan::obs

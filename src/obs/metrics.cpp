@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace fdbscan::obs {
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+// One registry for the process. Metrics live in deques so references
+// handed out by counter()/gauge()/histogram() stay stable forever; the
+// index maps a name to its kind + deque position. Only registration and
+// snapshotting take the mutex — updates go straight to the atomics.
+struct Registry {
+  std::mutex mutex;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, std::pair<Kind, std::size_t>> index;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static dtors
+  return *r;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+std::size_t lookup(const std::string& name, Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::logic_error("obs: metric name '" + name +
+                           "' is not Prometheus-safe "
+                           "([a-zA-Z_][a-zA-Z0-9_]*)");
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.index.find(name);
+  if (it != r.index.end()) {
+    if (it->second.first != kind) {
+      throw std::logic_error("obs: metric '" + name +
+                             "' registered with a different kind");
+    }
+    return it->second.second;
+  }
+  std::size_t pos = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      pos = r.counters.size();
+      r.counters.emplace_back();
+      break;
+    case Kind::kGauge:
+      pos = r.gauges.size();
+      r.gauges.emplace_back();
+      break;
+    case Kind::kHistogram:
+      pos = r.histograms.size();
+      r.histograms.emplace_back();
+      break;
+  }
+  r.index.emplace(name, std::make_pair(kind, pos));
+  return pos;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  const std::size_t pos = lookup(name, Kind::kCounter);
+  return registry().counters[pos];
+}
+
+Gauge& gauge(const std::string& name) {
+  const std::size_t pos = lookup(name, Kind::kGauge);
+  return registry().gauges[pos];
+}
+
+Histogram& histogram(const std::string& name) {
+  const std::size_t pos = lookup(name, Kind::kHistogram);
+  return registry().histograms[pos];
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, entry] : r.index) {  // map: already name-sorted
+    switch (entry.first) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, r.counters[entry.second].value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, r.gauges[entry.second].value()});
+        break;
+      case Kind::kHistogram:
+        snap.histograms.push_back(
+            {name, r.histograms[entry.second].snapshot()});
+        break;
+    }
+  }
+  return snap;
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  std::map<std::string, std::int64_t> prior_counters;
+  for (const auto& c : before.counters) prior_counters[c.name] = c.value;
+  for (const auto& c : after.counters) {
+    auto it = prior_counters.find(c.name);
+    const std::int64_t base = it != prior_counters.end() ? it->second : 0;
+    d.counters.push_back({c.name, c.value - base});
+  }
+  d.gauges = after.gauges;
+  std::map<std::string, const HistogramSnapshot*> prior_hists;
+  for (const auto& h : before.histograms) prior_hists[h.name] = &h.data;
+  for (const auto& h : after.histograms) {
+    HistogramSnapshot delta = h.data;
+    auto it = prior_hists.find(h.name);
+    if (it != prior_hists.end()) {
+      const HistogramSnapshot& base = *it->second;
+      delta.count -= base.count;
+      delta.total_ns -= base.total_ns;
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        delta.buckets[static_cast<std::size_t>(i)] -=
+            base.buckets[static_cast<std::size_t>(i)];
+      }
+      // max is not subtractable over a window; only meaningful when the
+      // window saw samples at all.
+      if (delta.count == 0) delta.max_ns = 0;
+    }
+    d.histograms.push_back({h.name, delta});
+  }
+  return d;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += h.data.buckets[static_cast<std::size_t>(i)];
+      if (i == kHistogramBuckets - 1) break;  // last bucket == +Inf below
+      // Bucket i holds samples < 2^i microseconds; upper bound in
+      // seconds, as Prometheus histograms are seconds-valued.
+      const double le =
+          static_cast<double>(std::uint64_t{1} << i) * 1e-6;
+      out += h.name + "_bucket{le=\"";
+      append_double(out, le);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += h.name + "_sum ";
+    append_double(out, static_cast<double>(h.data.total_ns) * 1e-9);
+    out += "\n";
+    out += h.name + "_count " + std::to_string(h.data.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    out += "\"" + snap.counters[i].name +
+           "\":" + std::to_string(snap.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    out += "\"" + snap.gauges[i].name +
+           "\":" + std::to_string(snap.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i) out += ',';
+    const auto& h = snap.histograms[i];
+    out += "\"" + h.name + "\":{\"count\":" + std::to_string(h.data.count) +
+           ",\"total_ns\":" + std::to_string(h.data.total_ns) +
+           ",\"max_ns\":" + std::to_string(h.data.max_ns) + ",\"buckets\":[";
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (b) out += ',';
+      out += std::to_string(h.data.buckets[static_cast<std::size_t>(b)]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fdbscan::obs

@@ -1,0 +1,98 @@
+#include "obs/statusz.h"
+
+#include <semaphore.h>
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "exec/trace.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace fdbscan::obs {
+
+namespace {
+
+std::atomic<std::int64_t> g_dump_seq{0};
+sem_t g_statusz_sem;
+std::atomic<bool> g_installed{false};
+
+// Async-signal-safe: sem_post is on the POSIX safe list; everything
+// else (formatting, IO, locks) happens on the writer thread.
+void on_sigusr1(int) { sem_post(&g_statusz_sem); }
+
+void writer_loop() {
+  for (;;) {
+    if (sem_wait(&g_statusz_sem) != 0) continue;  // EINTR: retry
+    statusz_dump();
+  }
+}
+
+}  // namespace
+
+std::string statusz_text() {
+  static Counter& dumps = counter("fdbscan_statusz_dumps_total");
+  dumps.inc();
+  const std::int64_t seq =
+      g_dump_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string out = "# fdbscan-statusz seq=" + std::to_string(seq) +
+                    " ts_ns=" + std::to_string(exec::trace_now_ns()) + "\n";
+  out += to_prometheus_text(snapshot_metrics());
+  out += "# end fdbscan-statusz seq=" + std::to_string(seq) + "\n";
+  return out;
+}
+
+std::string statusz_dump() {
+  const std::string text = statusz_text();
+  const char* env = std::getenv("FDBSCAN_STATUSZ");
+  const std::string target =
+      env != nullptr && *env != '\0' ? env : "stderr";
+  if (target == "stderr") {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+  } else {
+    // Write-then-rename so a reader polling the path never observes a
+    // truncated dump.
+    const std::string tmp = target + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::rename(tmp.c_str(), target.c_str());
+    } else {
+      std::fwrite(text.data(), 1, text.size(), stderr);
+      std::fflush(stderr);
+    }
+  }
+  if (exec::trace_enabled()) {
+    // Live trace snapshot alongside the metrics dump. Safe against
+    // concurrent recorders: in-flight (claimed, not yet committed)
+    // events are skipped, never torn (exec/trace.h).
+    exec::trace_flush();
+  }
+  log_event(LogLevel::kInfo, "statusz.dump", {{"sink", target}});
+  return target;
+}
+
+bool statusz_install() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return true;
+  if (sem_init(&g_statusz_sem, 0, 0) != 0) {
+    g_installed.store(false);
+    return false;
+  }
+  std::thread(writer_loop).detach();
+  struct sigaction sa;
+  sa.sa_handler = on_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGUSR1, &sa, nullptr) != 0) return false;
+  log_event(LogLevel::kInfo, "statusz.installed",
+            {{"signal", "SIGUSR1"}});
+  return true;
+}
+
+}  // namespace fdbscan::obs

@@ -1,0 +1,38 @@
+// Live introspection dump (DESIGN.md §13): the "statusz" page of a
+// process that has no HTTP server.
+//
+// statusz_text() renders the whole metrics registry as Prometheus text
+// (with a comment header carrying a dump sequence number and
+// timestamp). statusz_dump() writes it to the sink named by
+// FDBSCAN_STATUSZ (<path>|stderr, default stderr; file dumps are
+// written to <path>.tmp and renamed, so a polling reader never sees a
+// partial dump) and, when tracing is active, also flushes the trace
+// buffers (trace_flush() is safe against concurrent writers — see
+// exec/trace.h).
+//
+// statusz_install() arms SIGUSR1: the handler is async-signal-safe (it
+// only posts a semaphore); a dedicated thread does the formatting and
+// IO. `kill -USR1 <pid>` therefore works mid-run, from a signal-unsafe
+// world, without stopping the process.
+#pragma once
+
+#include <string>
+
+namespace fdbscan::obs {
+
+/// Render the current introspection dump (Prometheus text of the whole
+/// registry plus a `# fdbscan-statusz` header). Callable from any
+/// thread, any time — but not from a signal handler (it allocates).
+[[nodiscard]] std::string statusz_text();
+
+/// Render and write a dump to the FDBSCAN_STATUSZ sink now, and flush
+/// the trace buffers when tracing is active. Returns the sink it wrote
+/// to ("stderr" or the path), for logging.
+std::string statusz_dump();
+
+/// Arm SIGUSR1 to trigger statusz_dump() on a dedicated background
+/// thread. Idempotent; returns false if the handler could not be
+/// installed.
+bool statusz_install();
+
+}  // namespace fdbscan::obs

@@ -33,8 +33,28 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 
 namespace fdbscan::service {
+
+namespace pool_detail {
+
+/// Registry mirrors of the pool counters (DESIGN.md §13). Process-wide:
+/// several pools (several services) add into the same totals; the
+/// engines gauge tracks the net resident count across all of them.
+struct PoolMetrics {
+  obs::Counter& hits = obs::counter("fdbscan_pool_hits_total");
+  obs::Counter& misses = obs::counter("fdbscan_pool_misses_total");
+  obs::Counter& evictions = obs::counter("fdbscan_pool_evictions_total");
+  obs::Gauge& engines = obs::gauge("fdbscan_pool_engines");
+};
+
+inline PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace pool_detail
 
 struct EnginePoolStats {
   std::int64_t engines = 0;    ///< currently resident entries
@@ -71,6 +91,13 @@ class EnginePool {
  public:
   explicit EnginePool(std::int32_t capacity)
       : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  ~EnginePool() {
+    // Keep the process-wide resident-engines gauge honest when a whole
+    // pool (service) goes away.
+    pool_detail::pool_metrics().engines.add(
+        -static_cast<std::int64_t>(entries_.size()));
+  }
 
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
@@ -120,14 +147,18 @@ class EnginePool {
       std::lock_guard<std::mutex> guard(mutex_);
       auto it = entries_.find(id);
       bool fresh = false;
+      pool_detail::PoolMetrics& pm = pool_detail::pool_metrics();
       if (it != entries_.end() && it->second->dim == dim) {
         entry = it->second;
         ++stats_.hits;
+        pm.hits.inc();
       } else {
         if (it != entries_.end()) {
           // Same id resubmitted at a different dimension: replace.
           entries_.erase(it);
           ++stats_.evictions;
+          pm.evictions.inc();
+          pm.engines.add(-1);
         }
         entry = std::make_shared<Entry>();
         entry->id = id;
@@ -136,6 +167,8 @@ class EnginePool {
         entry->counters = counters;
         entries_.emplace(id, entry);
         ++stats_.misses;
+        pm.misses.inc();
+        pm.engines.add(1);
         fresh = true;
       }
       // Touch and pin BEFORE any eviction pass: a fresh entry still at
@@ -196,6 +229,8 @@ class EnginePool {
       if (victim == entries_.end()) return;  // every entry is leased
       entries_.erase(victim);
       ++stats_.evictions;
+      pool_detail::pool_metrics().evictions.inc();
+      pool_detail::pool_metrics().engines.add(-1);
     }
   }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "exec/trace.h"
+#include "obs/log.h"
 
 namespace fdbscan::service {
 
@@ -36,15 +37,18 @@ int env_int(const char* name, int fallback) {
   if (env == nullptr) return fallback;
   if (const auto v = detail::parse_positive_env_int(env)) return *v;
   // A set-but-unusable knob silently becoming the default is how typos
-  // ship to production; warn once per variable.
+  // ship to production; warn once per variable. The warning rides the
+  // structured log (obs/log.h) so it carries machine-readable fields
+  // and honors FDBSCAN_LOG; the default sink keeps it on stderr.
   static std::mutex warned_mutex;
   static std::set<std::string> warned;
   std::lock_guard<std::mutex> lock(warned_mutex);
   if (warned.insert(name).second) {
-    std::fprintf(stderr,
-                 "fdbscan: ignoring %s=\"%s\" (expected a positive integer); "
-                 "using default %d\n",
-                 name, env, fallback);
+    obs::log_event(obs::LogLevel::kWarn, "service.env_ignored",
+                   {{"var", name},
+                    {"value", env},
+                    {"expected", "positive integer"},
+                    {"fallback", fallback}});
   }
   return fallback;
 }
@@ -79,6 +83,11 @@ ClusterService::ClusterService(const ServiceConfig& config)
     dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
+  obs::log_event(obs::LogLevel::kInfo, "service.start",
+                 {{"queue_capacity", config_.queue_capacity},
+                  {"dispatchers", config_.dispatchers},
+                  {"engine_capacity", config_.engine_capacity},
+                  {"shards", config_.shards}});
 }
 
 ClusterService::~ClusterService() {
@@ -100,9 +109,16 @@ ClusterService::~ClusterService() {
   // dangle. They resolve to kCancelled after the dispatchers are gone.
   for (Request& req : leftover) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
+    obs_.cancelled.inc();
+    obs_.queued.add(-1);
     req.promise.set_value(
         Error{ErrorCode::kCancelled, "service destroyed before the request ran"});
   }
+  obs::log_event(
+      obs::LogLevel::kInfo, "service.stop",
+      {{"submitted", submitted_.load(std::memory_order_relaxed)},
+       {"completed", completed_.load(std::memory_order_relaxed)},
+       {"cancelled", cancelled_.load(std::memory_order_relaxed)}});
 }
 
 void ClusterService::enqueue(Request req, double deadline_ms) {
@@ -115,6 +131,7 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
     // rejection has nothing to do with (the future's error is the
     // caller's signal either way).
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    obs_.deadline_exceeded.inc();
     if (req.token_private) {
       req.token->request_cancel(exec::CancelReason::kDeadlineExceeded);
     }
@@ -137,12 +154,14 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs_.cancelled.inc();
       req.promise.set_value(
           Error{ErrorCode::kCancelled, "service is shutting down"});
       return;
     }
     if (static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs_.rejected.inc();
       req.promise.set_value(Error{
           ErrorCode::kQueueFull,
           "request queue at capacity (" +
@@ -150,6 +169,7 @@ void ClusterService::enqueue(Request req, double deadline_ms) {
       return;
     }
     queue_.push_back(std::move(req));
+    obs_.queued.add(1);
   }
   cv_queue_.notify_one();
   if (has_deadline) {
@@ -183,19 +203,29 @@ void ClusterService::dispatcher_loop(int index) {
       req.emplace(std::move(queue_.front()));
       queue_.pop_front();
       ++active_;
+      obs_.queued.add(-1);
+      obs_.active.add(1);
     }
     process(*req, track_floor_ns);
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --active_;
+      obs_.active.add(-1);
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
   }
 }
 
 void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
+  // Request-id context for the whole dispatch: the queue-wait and run
+  // spans below, every span/log line emitted inside run_request (engine
+  // lease, phase spans, shard waves) and the request_done event all
+  // carry req.id, so the trace and the log join per request.
+  obs::RequestScope rid_scope(req.id);
   const std::int64_t start_ns = exec::trace_now_ns();
-  queue_wait_.add(start_ns - req.submit_ns);
+  const std::int64_t wait_ns = start_ns - req.submit_ns;
+  queue_wait_.add(wait_ns);
+  obs_.queue_wait.observe_ns(wait_ns);
   if (exec::trace_enabled()) {
     exec::trace_record_span("service/queue-wait",
                             std::max(req.submit_ns, track_floor_ns), start_ns,
@@ -205,26 +235,43 @@ void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
   ServiceResult result = run_request(req);
 
   const std::int64_t end_ns = exec::trace_now_ns();
-  run_time_.add(end_ns - start_ns);
+  const std::int64_t run_ns = end_ns - start_ns;
+  run_time_.add(run_ns);
+  obs_.run_time.observe_ns(run_ns);
   if (exec::trace_enabled()) {
     exec::trace_record_span("service/run", start_ns, end_ns, "service");
   }
   track_floor_ns = end_ns;
 
+  const char* outcome = "ok";
   if (result.has_value()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    obs_.completed.inc();
   } else {
     switch (result.error().code) {
       case ErrorCode::kCancelled:
         cancelled_.fetch_add(1, std::memory_order_relaxed);
+        obs_.cancelled.inc();
+        outcome = "cancelled";
         break;
       case ErrorCode::kDeadlineExceeded:
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        obs_.deadline_exceeded.inc();
+        outcome = "deadline_exceeded";
         break;
       default:
         failed_.fetch_add(1, std::memory_order_relaxed);
+        obs_.failed.inc();
+        outcome = "failed";
         break;
     }
+  }
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    obs::log_event(obs::LogLevel::kDebug, "service.request_done",
+                   {{"dataset", req.dataset_id},
+                    {"outcome", outcome},
+                    {"queue_wait_ms", static_cast<double>(wait_ns) * 1e-6},
+                    {"run_ms", static_cast<double>(run_ns) * 1e-6}});
   }
   req.promise.set_value(std::move(result));
 }
@@ -307,6 +354,87 @@ ServiceMetrics ClusterService::metrics() const {
   m.queue_wait = queue_wait_.snapshot();
   m.run_time = run_time_.snapshot();
   return m;
+}
+
+ServiceSnapshot ClusterService::snapshot() const {
+  ServiceSnapshot s;
+  s.config = config_;
+  s.metrics = metrics();
+  s.pool = pool_.stats();
+  return s;
+}
+
+namespace {
+
+// Re-expresses a ServiceSnapshot in the registry's vocabulary so the
+// obs serializers render it — a per-service scrape and a statusz dump
+// then agree on names and formats by construction.
+obs::HistogramSnapshot to_histogram(const LatencySummary& s) {
+  obs::HistogramSnapshot h;
+  h.count = s.count;
+  h.total_ns = static_cast<std::int64_t>(s.total_ms * 1e6);
+  h.max_ns = static_cast<std::int64_t>(s.max_ms * 1e6);
+  static_assert(kLatencyBuckets == obs::kHistogramBuckets,
+                "service latency buckets must mirror the registry's");
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    h.buckets[static_cast<std::size_t>(i)] =
+        s.buckets[static_cast<std::size_t>(i)];
+  }
+  return h;
+}
+
+obs::MetricsSnapshot to_metrics(const ServiceSnapshot& snap) {
+  obs::MetricsSnapshot m;
+  const ServiceMetrics& sm = snap.metrics;
+  m.counters = {
+      {"fdbscan_pool_evictions_total", snap.pool.evictions},
+      {"fdbscan_pool_hits_total", snap.pool.hits},
+      {"fdbscan_pool_misses_total", snap.pool.misses},
+      {"fdbscan_service_cancelled_total", sm.cancelled},
+      {"fdbscan_service_completed_total", sm.completed},
+      {"fdbscan_service_deadline_exceeded_total", sm.deadline_exceeded},
+      {"fdbscan_service_failed_total", sm.failed},
+      {"fdbscan_service_rejected_total", sm.rejected},
+      {"fdbscan_service_submitted_total", sm.submitted},
+  };
+  m.gauges = {
+      {"fdbscan_pool_engines", snap.pool.engines},
+      {"fdbscan_service_active_requests", sm.active},
+      {"fdbscan_service_queue_depth", sm.queued},
+  };
+  m.histograms = {
+      {"fdbscan_service_queue_wait", to_histogram(sm.queue_wait)},
+      {"fdbscan_service_run_time", to_histogram(sm.run_time)},
+  };
+  return m;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const ServiceSnapshot& snap) {
+  std::string out =
+      "# fdbscan-service queue_capacity=" +
+      std::to_string(snap.config.queue_capacity) +
+      " dispatchers=" + std::to_string(snap.config.dispatchers) +
+      " engine_capacity=" + std::to_string(snap.config.engine_capacity) +
+      " shards=" + std::to_string(snap.config.shards) + "\n";
+  out += obs::to_prometheus_text(to_metrics(snap));
+  return out;
+}
+
+std::string to_json(const ServiceSnapshot& snap) {
+  std::string out = "{\"config\":{\"queue_capacity\":";
+  out += std::to_string(snap.config.queue_capacity);
+  out += ",\"dispatchers\":";
+  out += std::to_string(snap.config.dispatchers);
+  out += ",\"engine_capacity\":";
+  out += std::to_string(snap.config.engine_capacity);
+  out += ",\"shards\":";
+  out += std::to_string(snap.config.shards);
+  out += "},\"metrics\":";
+  out += obs::to_json(to_metrics(snap));
+  out += "}";
+  return out;
 }
 
 }  // namespace fdbscan::service

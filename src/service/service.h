@@ -51,6 +51,8 @@
 
 #include "core/cluster.h"
 #include "exec/cancel.h"
+#include "obs/metrics.h"
+#include "obs/request_id.h"
 #include "service/engine_pool.h"
 #include "shard/sharded_engine.h"
 
@@ -109,6 +111,21 @@ struct ServiceMetrics {
   LatencySummary queue_wait;           ///< submit -> dispatch
   LatencySummary run_time;             ///< dispatch -> future resolved
 };
+
+/// One coherent view of a service for exposition (DESIGN.md §13):
+/// configuration, the counter/histogram snapshot and the pool stats,
+/// captured at one call. Serialize with to_prometheus_text()/to_json().
+struct ServiceSnapshot {
+  ServiceConfig config{};
+  ServiceMetrics metrics{};
+  EnginePoolStats pool{};
+};
+
+/// Rendered as the same fdbscan_service_* / fdbscan_pool_* families the
+/// process-wide registry exposes, so a per-service scrape and a statusz
+/// dump line up name-for-name.
+[[nodiscard]] std::string to_prometheus_text(const ServiceSnapshot& snap);
+[[nodiscard]] std::string to_json(const ServiceSnapshot& snap);
 
 struct SubmitOptions {
   Options options{};
@@ -246,8 +263,10 @@ Clustering run_typed(void* holder, const Parameters& params,
 /// Strict parse of a FDBSCAN_SERVICE_* knob value: the whole string must
 /// be a base-10 integer that fits in int and is > 0. Anything else —
 /// empty, trailing junk, zero, negative, overflow — is rejected
-/// (std::nullopt) and from_env() warns once per variable on stderr
-/// instead of silently falling back. Exposed for tests.
+/// (std::nullopt) and from_env() emits a "service.env_ignored" warning
+/// (once per variable) on the structured log (obs/log.h; the default
+/// sink keeps warnings on stderr) instead of silently falling back.
+/// Exposed for tests.
 [[nodiscard]] std::optional<int> parse_positive_env_int(const char* value);
 
 /// One registered deadline in the watchdog heap. weak_ptr so an
@@ -286,13 +305,16 @@ class ClusterService {
     std::promise<ServiceResult> promise;
     std::future<ServiceResult> future = promise.get_future();
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    obs_.submitted.inc();
     if (!points) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.failed.inc();
       promise.set_value(Error{ErrorCode::kInternal, "points must not be null"});
       return future;
     }
     if (auto error = validate_parameters(params, submit.options)) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.failed.inc();
       promise.set_value(*std::move(error));
       return future;
     }
@@ -300,12 +322,14 @@ class ClusterService {
         submit.shards != 0 ? submit.shards : config_.shards;
     if (shards < 1) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.failed.inc();
       promise.set_value(Error{ErrorCode::kInvalidShards,
                               "shards must be >= 1, got " +
                                   std::to_string(shards)});
       return future;
     }
     Request req;
+    req.id = obs::mint_request_id();
     req.dataset_id = dataset_id;
     req.dim = DIM;
     req.params = params;
@@ -331,6 +355,11 @@ class ClusterService {
   void wait_idle();
 
   [[nodiscard]] ServiceMetrics metrics() const;
+
+  /// Coherent config + metrics + pool view for exposition; pair with
+  /// service::to_prometheus_text() / service::to_json().
+  [[nodiscard]] ServiceSnapshot snapshot() const;
+
   [[nodiscard]] EnginePoolStats pool_stats() const { return pool_.stats(); }
   [[nodiscard]] std::vector<DatasetStats> dataset_stats() {
     return pool_.dataset_stats();
@@ -339,6 +368,9 @@ class ClusterService {
 
  private:
   struct Request {
+    /// Correlation id minted at submit() (obs/request_id.h); carried by
+    /// the dispatcher's trace spans and structured log lines.
+    obs::RequestId id = 0;
     std::string dataset_id;
     int dim = 0;
     Parameters params{};
@@ -428,6 +460,31 @@ class ClusterService {
   std::atomic<std::int64_t> failed_{0};
   AtomicHistogram queue_wait_;
   AtomicHistogram run_time_;
+
+  /// Registry mirrors (DESIGN.md §13): every site that bumps one of the
+  /// atomics above bumps the same-named registry metric with the same
+  /// value, so a registry delta over a window in which only this
+  /// service ran is bit-equal to the ServiceMetrics delta
+  /// (bench_compare.py --gate-obs cross-checks exactly that). The
+  /// registry is process-wide: concurrent services share these.
+  struct ObsMirror {
+    obs::Counter& submitted =
+        obs::counter("fdbscan_service_submitted_total");
+    obs::Counter& completed =
+        obs::counter("fdbscan_service_completed_total");
+    obs::Counter& rejected = obs::counter("fdbscan_service_rejected_total");
+    obs::Counter& cancelled =
+        obs::counter("fdbscan_service_cancelled_total");
+    obs::Counter& deadline_exceeded =
+        obs::counter("fdbscan_service_deadline_exceeded_total");
+    obs::Counter& failed = obs::counter("fdbscan_service_failed_total");
+    obs::Gauge& queued = obs::gauge("fdbscan_service_queue_depth");
+    obs::Gauge& active = obs::gauge("fdbscan_service_active_requests");
+    obs::Histogram& queue_wait =
+        obs::histogram("fdbscan_service_queue_wait");
+    obs::Histogram& run_time = obs::histogram("fdbscan_service_run_time");
+  };
+  ObsMirror obs_;
 
   std::vector<std::thread> dispatchers_;
   std::thread watchdog_;

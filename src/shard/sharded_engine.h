@@ -62,6 +62,8 @@
 #include "exec/workspace.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "obs/metrics.h"
+#include "obs/request_id.h"
 #include "unionfind/union_find.h"
 
 namespace fdbscan::shard {
@@ -94,6 +96,18 @@ struct ShardedCounters {
 };
 
 namespace detail {
+
+/// Registry mirrors (DESIGN.md §13): process-wide sharded-execution
+/// totals across every ShardedEngine.
+struct ShardMetrics {
+  obs::Counter& runs = obs::counter("fdbscan_shard_runs_total");
+  obs::Counter& waves = obs::counter("fdbscan_shard_waves_total");
+};
+
+inline ShardMetrics& shard_metrics() {
+  static ShardMetrics m;
+  return m;
+}
 
 /// K persistent threads, one per shard. run(fn, token) executes fn(s) on
 /// member s for every shard concurrently and returns after all members
@@ -131,6 +145,9 @@ class ShardTeam {
       std::unique_lock<std::mutex> lock(mutex_);
       fn_ = &fn;
       token_ = token;
+      // Members inherit the coordinator's request id for the wave, so
+      // their spans/log lines attribute to the request being served.
+      rid_ = exec::trace_request_id();
       for (auto& e : errors_) e = nullptr;
       pending_ = static_cast<std::int32_t>(members_.size());
       ++generation_;
@@ -163,6 +180,7 @@ class ShardTeam {
     for (;;) {
       const std::function<void(std::int32_t)>* fn = nullptr;
       const exec::CancelToken* token = nullptr;
+      std::uint64_t rid = 0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
@@ -170,8 +188,10 @@ class ShardTeam {
         seen = generation_;
         fn = fn_;
         token = token_;
+        rid = rid_;
       }
       try {
+        obs::RequestScope rid_scope(rid);
         std::optional<exec::CancelScope> scope;
         if (token) scope.emplace(*token);
         (*fn)(member);
@@ -192,6 +212,7 @@ class ShardTeam {
   std::condition_variable cv_done_;
   const std::function<void(std::int32_t)>* fn_ = nullptr;
   const exec::CancelToken* token_ = nullptr;
+  std::uint64_t rid_ = 0;  // coordinator's request id for this wave
   std::uint64_t generation_ = 0;
   std::int32_t pending_ = 0;
   bool stop_ = false;
@@ -250,6 +271,7 @@ class ShardedEngine {
     if (n == 0) return result;
     exec::throw_if_cancelled();
     ++counters_.runs;
+    detail::shard_metrics().runs.inc();
     const std::int64_t ws0 = workspace_.reallocs();
     const float eps2 = params.eps * params.eps;
     exec::PhaseProfiler timer;
@@ -451,6 +473,7 @@ class ShardedEngine {
   /// the wave), inline when K == 1.
   template <class Fn>
   void for_each_shard(Fn&& fn) {
+    detail::shard_metrics().waves.inc();
     if (!team_) {
       for (std::int32_t r = 0; r < num_shards_; ++r) fn(r);
       return;

@@ -36,6 +36,13 @@ Usage:
                        across the worker x shard sweep, with multi-shard
                        runs present and a nonzero halo volume so the
                        gate cannot pass vacuously
+  bench_compare.py --gate-obs FILE [...]           check the obs-registry
+                       mirror (DESIGN.md §13): every entry carrying both
+                       a "service" and an "obs" block must agree bit-equal
+                       on their shared keys (the registry mirror and the
+                       service's own atomics are fed the same integers);
+                       zero such entries or zero shared keys fails — a
+                       vacuous match is a broken gate
   bench_compare.py --gate-simd SCALAR.json SIMD.json
                        check that the vectorized backend does not lose to
                        the scalar one: over name-matched fdbscan /
@@ -149,6 +156,12 @@ def validate(doc, path="<doc>"):
             for sname, sval in e["service"].items():
                 _expect(isinstance(sval, (int, float)),
                         f"{where}: service.{sname!r} is not a number")
+        if "obs" in e:
+            _expect(isinstance(e["obs"], dict),
+                    f"{where}: obs must be an object")
+            for oname, oval in e["obs"].items():
+                _expect(isinstance(oval, (int, float)),
+                        f"{where}: obs.{oname!r} is not a number")
         if "error" in e:
             _expect(isinstance(e["error"], str), f"{where}: error must be a string")
 
@@ -320,6 +333,44 @@ def gate_shards(doc, path):
     return violations, checked
 
 
+def gate_obs(doc, path):
+    """Single-file gate over the obs-registry mirror (DESIGN.md §13),
+    applied to every entry carrying both a "service" and an "obs" block:
+    the two must agree bit-equal on every shared key. The service's own
+    atomics and the registry mirror are incremented with the identical
+    integers at the identical sites (ObsMirror in service/service.h), and
+    the bench derives both blocks' ms values with the same int64-ns ->
+    double conversion — so ANY difference, however small, means a mirror
+    site was dropped or double-counted.
+
+    Zero dual-block entries, or an entry pair sharing zero keys, is
+    itself a violation — a vacuous match is a broken gate."""
+    violations = []
+    checked = 0
+    for e in doc["entries"]:
+        if e.get("error") or "service" not in e or "obs" not in e:
+            continue
+        checked += 1
+        name, s, o = e["name"], e["service"], e["obs"]
+        shared = sorted(set(s) & set(o))
+        if not shared:
+            violations.append(
+                f"{name}: service and obs blocks share no keys — the "
+                "cross-check compared nothing")
+            continue
+        for key in shared:
+            if s[key] != o[key]:
+                violations.append(
+                    f"{name}: {key} disagrees — service={s[key]:g}, "
+                    f"obs registry delta={o[key]:g}")
+    if checked == 0:
+        violations.append(
+            f"{path}: no entries carry both a service and an obs block — "
+            "the obs gate is vacuous (did the bench stop staging the "
+            "registry delta?)")
+    return violations, checked
+
+
 def gate_simd(scalar_doc, simd_doc):
     """Two-file gate: the vectorized backend must not lose to the scalar
     one on the traversal-dominated phases. Over name-matched, non-errored
@@ -458,6 +509,11 @@ def main(argv):
                         help="single-file mode: check the sharding "
                              "contract over entries carrying a "
                              "shards_checked counter (DESIGN.md §11)")
+    parser.add_argument("--gate-obs", action="store_true",
+                        help="single-file mode: check that entries carrying "
+                             "both a service and an obs block agree "
+                             "bit-equal on their shared keys (the obs "
+                             "registry mirror, DESIGN.md §13)")
     parser.add_argument("--gate-simd", action="store_true",
                         help="two-file mode (SCALAR.json SIMD.json): the "
                              "SIMD run's summed traversal-phase wall over "
@@ -535,6 +591,19 @@ def main(argv):
             print("ok: shard contract holds (sharded labels match the "
                   "single-engine reference across the worker x shard "
                   "sweep, with nonzero halo volume)")
+            return 0
+        if args.gate_obs:
+            violations = []
+            for path in args.files:
+                file_violations, checked = gate_obs(load(path), path)
+                violations.extend(file_violations)
+                print(f"{path}: {checked} dual-block entries checked")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: obs registry mirror matches service metrics "
+                  "bit-equal on all shared keys")
             return 0
         if args.gate_simd:
             if len(args.files) != 2:

@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Parse and validate fdbscan statusz dumps (DESIGN.md §13).
+
+A statusz dump is the obs registry's Prometheus text exposition wrapped
+in sequence-numbered sentinel comments:
+
+    # fdbscan-statusz seq=N ts_ns=T
+    # TYPE fdbscan_service_submitted_total counter
+    fdbscan_service_submitted_total 42
+    ...
+    # end fdbscan-statusz seq=N
+
+It is produced by obs::statusz_text() — on demand, or whenever a process
+that called obs::statusz_install() (every bench binary does) receives
+SIGUSR1. With FDBSCAN_STATUSZ=<path> the dump goes to the file via
+write-then-rename, so a polling reader never sees a truncated snapshot.
+
+Usage:
+  fdbscan_statusz.py FILE [FILE...]        validate dump files: the text
+                       must parse, every histogram's +Inf bucket must
+                       cover its _count, cumulative buckets must be
+                       monotone, and the fdbscan_service_* terminal
+                       counters must not exceed submitted
+  fdbscan_statusz.py --strict FILE [...]   additionally require exact
+                       identities (bucket sum == count, terminal counts
+                       partition submitted) — valid only for dumps taken
+                       at a quiescent instant
+  fdbscan_statusz.py --run BINARY --workdir DIR
+                       live check: spawn BINARY (a bench binary, e.g.
+                       service_throughput) with FDBSCAN_STATUSZ pointed
+                       into DIR, send it SIGUSR1 repeatedly while it
+                       runs, and require (a) at least one dump parsed
+                       and (b) at least one QUIESCENT dump (all
+                       in-flight gauges zero) passing the strict checks
+                       — the ISSUE's acceptance criterion for the
+                       introspection path
+
+Exit codes: 0 ok, 1 validation failure, 2 usage/parse error.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HEADER_RE = re.compile(r"^# fdbscan-statusz seq=(\d+) ts_ns=(\d+)$")
+FOOTER_RE = re.compile(r"^# end fdbscan-statusz seq=(\d+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) "
+                     r"(counter|gauge|histogram)$")
+BUCKET_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)_bucket\{le="([^"]+)"\} '
+                       r"(\d+)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*) (-?[0-9.eE+-]+)$")
+
+TERMINAL_COUNTERS = (
+    "fdbscan_service_completed_total",
+    "fdbscan_service_rejected_total",
+    "fdbscan_service_cancelled_total",
+    "fdbscan_service_deadline_exceeded_total",
+    "fdbscan_service_failed_total",
+)
+
+# Gauges that must all read zero for a dump to be quiescent (no request
+# or launch was in flight when the snapshot was taken), making the
+# strict identities exact instead of merely one-sided.
+INFLIGHT_GAUGES = (
+    "fdbscan_service_queue_depth",
+    "fdbscan_service_active_requests",
+    "fdbscan_exec_inflight_launches",
+)
+
+
+class ParseError(Exception):
+    pass
+
+
+def parse_dump(text, where="<dump>"):
+    """Parses one statusz dump into
+    {"seq", "counters": {name: int}, "gauges": {name: int},
+     "histograms": {name: {"buckets": [(le, cum)], "sum": f, "count": n}}}.
+    Raises ParseError on any line that fits no production or any
+    structural violation (missing sentinels, sample before its # TYPE,
+    non-monotone cumulative buckets, missing +Inf)."""
+    lines = [ln for ln in text.splitlines() if ln]
+    if not lines:
+        raise ParseError(f"{where}: empty dump")
+    header = HEADER_RE.match(lines[0])
+    if not header:
+        raise ParseError(f"{where}: first line is not a statusz header: "
+                         f"{lines[0]!r}")
+    footer = FOOTER_RE.match(lines[-1])
+    if not footer:
+        raise ParseError(f"{where}: last line is not a statusz footer: "
+                         f"{lines[-1]!r}")
+    if header.group(1) != footer.group(1):
+        raise ParseError(f"{where}: header seq={header.group(1)} != footer "
+                         f"seq={footer.group(1)} — interleaved dumps?")
+
+    types = {}
+    counters, gauges = {}, {}
+    histograms = {}
+    for ln in lines[1:-1]:
+        m = TYPE_RE.match(ln)
+        if m:
+            name, kind = m.groups()
+            if name in types:
+                raise ParseError(f"{where}: duplicate # TYPE for {name}")
+            types[name] = kind
+            if kind == "histogram":
+                histograms[name] = {"buckets": [], "sum": None, "count": None}
+            continue
+        m = BUCKET_RE.match(ln)
+        if m:
+            name, le, cum = m.group(1), m.group(2), int(m.group(3))
+            if types.get(name) != "histogram":
+                raise ParseError(
+                    f"{where}: bucket sample for {name} without a "
+                    "histogram # TYPE")
+            h = histograms[name]
+            if h["buckets"] and cum < h["buckets"][-1][1]:
+                raise ParseError(
+                    f"{where}: {name} cumulative buckets decrease at "
+                    f"le={le}")
+            h["buckets"].append((le, cum))
+            continue
+        m = SAMPLE_RE.match(ln)
+        if m:
+            name, value = m.groups()
+            if name.endswith("_sum") and types.get(name[:-4]) == "histogram":
+                histograms[name[:-4]]["sum"] = float(value)
+            elif (name.endswith("_count")
+                  and types.get(name[:-6]) == "histogram"):
+                histograms[name[:-6]]["count"] = int(value)
+            elif types.get(name) == "counter":
+                counters[name] = int(value)
+            elif types.get(name) == "gauge":
+                gauges[name] = int(value)
+            else:
+                raise ParseError(
+                    f"{where}: sample for {name} without a # TYPE")
+            continue
+        raise ParseError(f"{where}: unparseable line: {ln!r}")
+
+    for name, h in histograms.items():
+        if not h["buckets"] or h["buckets"][-1][0] != "+Inf":
+            raise ParseError(f"{where}: {name} lacks a +Inf bucket")
+        if h["sum"] is None or h["count"] is None:
+            raise ParseError(f"{where}: {name} lacks _sum/_count samples")
+    return {"seq": int(header.group(1)), "counters": counters,
+            "gauges": gauges, "histograms": histograms}
+
+
+def check(dump, where="<dump>", strict=False):
+    """Semantic checks over a parsed dump; returns a violation list.
+
+    Relaxed mode allows the one-sided inequalities a mid-run snapshot
+    can legitimately exhibit (each metric is read atomically but the
+    set is not a consistent cut: a histogram's buckets are read after
+    its count, a request may sit between its submitted and terminal
+    increments). Strict mode requires the exact identities, which hold
+    whenever the dump was quiescent."""
+    violations = []
+    for name, h in dump["histograms"].items():
+        inf = h["buckets"][-1][1]
+        if strict and inf != h["count"]:
+            violations.append(
+                f"{where}: {name} bucket sum {inf} != count {h['count']}")
+        elif inf < h["count"]:
+            violations.append(
+                f"{where}: {name} bucket sum {inf} < count {h['count']} — "
+                "a sample was counted but never bucketed")
+        if h["count"] == 0 and h["sum"] != 0.0:
+            violations.append(
+                f"{where}: {name} has zero count but sum {h['sum']:g}")
+    counters = dump["counters"]
+    if "fdbscan_service_submitted_total" in counters:
+        submitted = counters["fdbscan_service_submitted_total"]
+        terminal = sum(counters.get(c, 0) for c in TERMINAL_COUNTERS)
+        if strict and submitted != terminal:
+            violations.append(
+                f"{where}: terminal counts sum to {terminal} but "
+                f"submitted={submitted} — the partition does not hold")
+        elif terminal > submitted:
+            violations.append(
+                f"{where}: terminal counts sum to {terminal} > "
+                f"submitted={submitted} — some request resolved twice")
+    return violations
+
+
+def quiescent(dump):
+    return all(dump["gauges"].get(g, 0) == 0 for g in INFLIGHT_GAUGES)
+
+
+def cmd_validate(paths, strict):
+    violations = []
+    for path in paths:
+        try:
+            dump = parse_dump(Path(path).read_text(), path)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ParseError as exc:
+            print(f"parse error: {exc}", file=sys.stderr)
+            return 2
+        violations.extend(check(dump, path, strict=strict))
+        print(f"{path}: seq={dump['seq']}, {len(dump['counters'])} counters, "
+              f"{len(dump['gauges'])} gauges, "
+              f"{len(dump['histograms'])} histograms"
+              + (", quiescent" if quiescent(dump) else ""))
+    for v in violations:
+        print(f"FAIL: {v}", file=sys.stderr)
+    if violations:
+        return 1
+    print("ok: all dumps parse and satisfy the "
+          + ("strict" if strict else "relaxed") + " invariants")
+    return 0
+
+
+def cmd_run(binary, workdir):
+    """Spawns `binary`, signals it with SIGUSR1 while it runs, and
+    validates the dumps it writes. Succeeds when the process exits 0,
+    at least one dump parsed, and at least one quiescent dump passed
+    the strict checks (mid-run dumps only need the relaxed ones)."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    dump_path = workdir / "statusz.prom"
+    if dump_path.exists():
+        dump_path.unlink()
+    env = dict(os.environ)
+    env.update({
+        "FDBSCAN_STATUSZ": str(dump_path),
+        "FDBSCAN_BENCH_SCALE": env.get("FDBSCAN_BENCH_SCALE", "0.02"),
+        "FDBSCAN_BENCH_OUT": str(workdir / "BENCH_statusz_run.json"),
+        "FDBSCAN_BENCH_DATE": "statusz-live",
+    })
+    # The heavy sharded-equivalence sweep is gated elsewhere; the live
+    # check only needs the service to serve requests while we signal.
+    # One pass of the filtered entries takes well under 100 ms at smoke
+    # scale — repeat them so the process stays alive long enough to be
+    # signalled mid-run many times.
+    args = [binary, "--benchmark_filter=closed_loop|overload|cancel_latency"
+                    "|deadline",
+            "--benchmark_repetitions=25"]
+    proc = subprocess.Popen(args, env=env, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    # The handler is installed first thing in main(); give the process a
+    # beat so an early signal cannot hit the default (terminating)
+    # disposition.
+    time.sleep(0.1)
+
+    dumps = 0
+    parse_failures = []
+    relaxed_violations = []
+    strict_pass = 0
+    quiescent_seen = 0
+    last_seq = -1
+    deadline = time.monotonic() + 300.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        try:
+            proc.send_signal(signal.SIGUSR1)
+        except ProcessLookupError:
+            break
+        time.sleep(0.1)
+        try:
+            text = dump_path.read_text()
+        except OSError:
+            continue  # no dump yet
+        try:
+            dump = parse_dump(text, str(dump_path))
+        except ParseError as exc:
+            parse_failures.append(str(exc))
+            continue
+        if dump["seq"] == last_seq:
+            continue  # writer has not caught up with this signal yet
+        last_seq = dump["seq"]
+        dumps += 1
+        relaxed_violations.extend(check(dump, f"seq={dump['seq']}"))
+        if quiescent(dump):
+            quiescent_seen += 1
+            if not check(dump, f"seq={dump['seq']}", strict=True):
+                strict_pass += 1
+    rc = proc.wait()
+
+    print(f"process exited {rc}; {dumps} dumps parsed, "
+          f"{quiescent_seen} quiescent, {strict_pass} passed strict checks")
+    failures = []
+    if rc != 0:
+        failures.append(f"process exited {rc}")
+    if dumps == 0:
+        failures.append("no statusz dump was ever written — is the SIGUSR1 "
+                        "handler installed?")
+    if parse_failures:
+        failures.append(f"{len(parse_failures)} dumps failed to parse "
+                        f"(first: {parse_failures[0]})")
+    failures.extend(relaxed_violations)
+    if dumps > 0 and strict_pass == 0:
+        failures.append(
+            "no quiescent dump passed the strict checks — the registry's "
+            "terminal partition or histogram identities are broken")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print("ok: live statusz dumps parse, mid-run invariants hold, and a "
+          "quiescent snapshot satisfied the exact identities")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="statusz dump files to validate")
+    parser.add_argument("--strict", action="store_true",
+                        help="require the exact quiescent identities")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="live mode: spawn BINARY and validate the "
+                             "dumps SIGUSR1 elicits from it")
+    parser.add_argument("--workdir", metavar="DIR", default=".",
+                        help="where --run puts the dump and telemetry "
+                             "files (default .)")
+    args = parser.parse_args(argv)
+    if args.run:
+        if args.files:
+            parser.error("--run takes no positional files")
+        return cmd_run(args.run, args.workdir)
+    if not args.files:
+        parser.error("nothing to do: pass dump files or --run BINARY")
+    return cmd_validate(args.files, args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

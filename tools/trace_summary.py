@@ -21,10 +21,18 @@ needs:
   * a service breakdown when the trace carries cat "service" spans (the
     ClusterService dispatcher tracks): queue-wait vs run time per span
     name — how much of a request's latency was spent waiting for a
-    dispatcher versus clustering.
+    dispatcher versus clustering;
+  * with --per-request, the same spans grouped by the request id the
+    service stamps into args.rid (obs::RequestScope, DESIGN.md §13):
+    per-request queue-wait / run / shard-wave breakdowns, so one slow
+    request can be told apart from uniformly slow traffic.
+
+--validate additionally checks the id contract: every cat "service"
+span must carry a positive integer args.rid — a service span without
+one means a dispatch path lost its RequestScope.
 
 Usage:
-  trace_summary.py TRACE.json [--top N]
+  trace_summary.py TRACE.json [--top N] [--per-request]
   trace_summary.py --validate TRACE.json [TRACE.json...]
 
 Exit codes: 0 ok, 2 usage or schema error.
@@ -223,7 +231,66 @@ def service_table(slices):
     return rows
 
 
-def print_summary(path, top):
+def check_request_ids(slices, path="<trace>"):
+    """The id contract: every service span carries a positive args.rid.
+    Other categories may or may not (spans recorded outside any request
+    context legitimately have none)."""
+    for s in slices:
+        if s["cat"] != "service":
+            continue
+        rid = s["args"].get("rid")
+        _expect(isinstance(rid, int) and rid > 0,
+                f"{path}: service span {s['name']!r} on tid {s['tid']} "
+                f"carries rid {rid!r} — a dispatch path lost its "
+                "RequestScope")
+
+
+def per_request_table(slices):
+    """Groups spans by args.rid. Returns rows sorted by rid: per request,
+    the queue-wait / run walls from its service spans and the count and
+    summed wall of every other span category recorded in its context
+    (phase spans, shard waves)."""
+    requests = defaultdict(lambda: defaultdict(
+        lambda: {"count": 0, "total_ms": 0.0}))
+    for s in slices:
+        rid = s["args"].get("rid")
+        if not isinstance(rid, int) or rid <= 0:
+            continue
+        key = (s["cat"], s["name"])
+        cell = requests[rid][key]
+        cell["count"] += 1
+        cell["total_ms"] += (s["end"] - s["begin"]) / 1000.0
+    rows = []
+    for rid in sorted(requests):
+        spans = requests[rid]
+        wait = spans.get(("service", "service/queue-wait"),
+                         {"total_ms": 0.0})["total_ms"]
+        run = spans.get(("service", "service/run"),
+                        {"total_ms": 0.0})["total_ms"]
+        other = {f"{cat}:{name}": cell for (cat, name), cell in
+                 sorted(spans.items()) if cat != "service"}
+        rows.append({"rid": rid, "queue_wait_ms": wait, "run_ms": run,
+                     "other": other})
+    return rows
+
+
+def print_per_request(slices):
+    rows = per_request_table(slices)
+    if not rows:
+        print("\nno rid-tagged spans (run under a ClusterService with "
+              "FDBSCAN_TRACE to get per-request breakdowns)")
+        return
+    print(f"\nper-request breakdown ({len(rows)} requests):")
+    print(f"  {'rid':>6} {'wait ms':>9} {'run ms':>9}  spans in context")
+    for r in rows:
+        detail = ", ".join(
+            f"{key} x{cell['count']} ({cell['total_ms']:.3f} ms)"
+            for key, cell in r["other"].items())
+        print(f"  {r['rid']:>6} {r['queue_wait_ms']:>9.3f} "
+              f"{r['run_ms']:>9.3f}  {detail if detail else '-'}")
+
+
+def print_summary(path, top, per_request=False):
     events = load_events(path)
     slices, counters = pair_slices(events, path)
 
@@ -274,6 +341,9 @@ def print_summary(path, top):
             else:
                 print(f"  {name}: {peak}")
 
+    if per_request:
+        print_per_request(slices)
+
     unnamed = [r for r in kernels if r["name"] == "<unnamed>"]
     if unnamed:
         print(f"\nnote: {unnamed[0]['count']} launches are <unnamed> — "
@@ -289,6 +359,9 @@ def main(argv):
                         help="only schema-check the given traces")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="kernels to show in the summary (default 10)")
+    parser.add_argument("--per-request", action="store_true",
+                        help="group service/phase/shard spans by their "
+                             "args.rid request id")
     args = parser.parse_args(argv)
 
     try:
@@ -296,12 +369,14 @@ def main(argv):
             for path in args.files:
                 events = load_events(path)
                 slices, counters = pair_slices(events, path)
+                check_request_ids(slices, path)
+                service = sum(1 for s in slices if s["cat"] == "service")
                 print(f"ok: {path} ({len(events)} events, "
                       f"{len(slices)} slices, {len(counters)} counter "
-                      f"samples)")
+                      f"samples, {service} service spans id-tagged)")
             return 0
         for path in args.files:
-            print_summary(path, args.top)
+            print_summary(path, args.top, args.per_request)
     except SchemaError as exc:
         print(f"schema error: {exc}", file=sys.stderr)
         return 2
