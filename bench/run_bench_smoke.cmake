@@ -31,6 +31,11 @@
 # --gate-obs requires the registry mirror to match ServiceMetrics
 # bit-equal on every shared key.
 #
+# stream_throughput (in STREAM_BENCHES) is gated on the streaming-session
+# contract (--gate-stream): every sliding-window query equivalent to a
+# from-scratch run over the live set, BVH rebuilds amortized strictly
+# below one per batch, and warm sub-threshold appends rebuilding nothing.
+#
 # Then run fig4_nsweep once more with the observability plane fully lit
 # (FDBSCAN_LOG to a file at debug level): counters must stay bit-exact
 # and the summed wall time within 2% (+ slack) of a fresh back-to-back
@@ -54,6 +59,7 @@ set(SMOKE_BENCHES
   table_phases
   ablation_traversal
   service_throughput
+  stream_throughput
 )
 
 # Benches whose entries share an Engine: after the 1-vs-8 diff they are
@@ -75,6 +81,12 @@ set(SHARD_BENCHES service_throughput)
 # Benches staging obs-registry deltas alongside their service blocks:
 # gated on the mirror cross-check (tools/bench_compare.py --gate-obs).
 set(OBS_BENCHES service_throughput)
+
+# Benches carrying streaming-session entries: gated on the stream
+# contract (tools/bench_compare.py --gate-stream) — every streamed query
+# equivalent to a from-scratch run over the live set, rebuilds amortized
+# below one per batch, warm sub-threshold appends rebuilding nothing.
+set(STREAM_BENCHES stream_throughput)
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -171,6 +183,21 @@ foreach(bench ${SMOKE_BENCHES})
         "bench_smoke: shard gate failed in ${bench}\n${shd_out}\n${shd_err}")
     endif()
     message(STATUS "bench_smoke: ${bench} shard contract ok\n${shd_out}")
+  endif()
+
+  if(bench IN_LIST STREAM_BENCHES)
+    execute_process(
+      COMMAND ${PYTHON} ${COMPARE} --gate-stream
+        ${WORK_DIR}/BENCH_${bench}_t1.json
+        ${WORK_DIR}/BENCH_${bench}_t8.json
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE stm_out
+      ERROR_VARIABLE stm_err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "bench_smoke: stream gate failed in ${bench}\n${stm_out}\n${stm_err}")
+    endif()
+    message(STATUS "bench_smoke: ${bench} stream contract ok\n${stm_out}")
   endif()
 
   if(bench IN_LIST OBS_BENCHES)

@@ -18,16 +18,10 @@
 
 #include "core/auto_select.h"
 #include "core/clustering.h"
+#include "core/request.h"
 #include "core/status.h"
 
 namespace fdbscan {
-
-/// Which algorithm cluster() dispatches to.
-enum class Method : std::uint8_t {
-  kAuto,      ///< dense-fraction heuristic (core/auto_select.h)
-  kFdbscan,   ///< always plain FDBSCAN
-  kDensebox,  ///< always FDBSCAN-DenseBox
-};
 
 namespace detail {
 
@@ -52,31 +46,8 @@ template <int DIM>
 
 }  // namespace detail
 
-/// The scalar half of validate_input: checks (params, options) without
-/// touching the points. O(1) — the service layer runs this at submit
-/// time and defers the O(n) coordinate scan to the dispatcher (once per
-/// pooled dataset).
-[[nodiscard]] inline std::optional<Error> validate_parameters(
-    const Parameters& params, const Options& options = {}) {
-  if (!(params.eps > 0.0f) || !std::isfinite(params.eps)) {
-    return Error{ErrorCode::kInvalidEps,
-                 "eps must be a finite positive number, got " +
-                     std::to_string(params.eps)};
-  }
-  if (params.minpts < 1) {
-    return Error{ErrorCode::kInvalidMinpts,
-                 "minpts must be >= 1, got " + std::to_string(params.minpts)};
-  }
-  const float f = options.densebox_cell_width_factor;
-  if (!(f > 0.0f) || !(f <= 1.0f)) {
-    // > 1 would break the cell-diameter <= eps invariant dense cells rely
-    // on (every pair inside one cell must be eps-close).
-    return Error{ErrorCode::kInvalidCellWidthFactor,
-                 "densebox_cell_width_factor must be in (0, 1], got " +
-                     std::to_string(f)};
-  }
-  return std::nullopt;
-}
+// validate_parameters() lives in core/request.h (the shared validation
+// path of RequestSpec); this header re-exports it via the include above.
 
 /// Validates (params, options) against a point set. Returns an engaged
 /// optional on the *first* problem found, checking cheap scalar
@@ -133,6 +104,36 @@ template <int DIM>
       break;
   }
   return fdbscan_auto(engine, params, options).clustering;
+}
+
+/// RequestSpec front door: the exact validation the service applies at
+/// submit time (validate_spec), then the same dispatch as the positional
+/// overloads. spec.deadline_ms / spec.token are service semantics and
+/// ignored here; spec.shards must be 0 or 1 (sharded execution goes
+/// through shard::cluster_sharded or the service).
+template <int DIM>
+[[nodiscard]] Expected<Clustering> cluster(
+    const std::vector<Point<DIM>>& points, const RequestSpec& spec) {
+  if (auto error = validate_spec(spec)) return *std::move(error);
+  if (spec.shards > 1) {
+    return Error{ErrorCode::kInvalidShards,
+                 "direct cluster() is single-engine; use cluster_sharded or "
+                 "the service for shards > 1"};
+  }
+  return cluster(points, spec.params, spec.options, spec.method);
+}
+
+/// Same, on an existing Engine (amortized index/workspace).
+template <int DIM>
+[[nodiscard]] Expected<Clustering> cluster(Engine<DIM>& engine,
+                                           const RequestSpec& spec) {
+  if (auto error = validate_spec(spec)) return *std::move(error);
+  if (spec.shards > 1) {
+    return Error{ErrorCode::kInvalidShards,
+                 "direct cluster() is single-engine; use cluster_sharded or "
+                 "the service for shards > 1"};
+  }
+  return cluster(engine, spec.params, spec.options, spec.method);
 }
 
 }  // namespace fdbscan

@@ -77,7 +77,10 @@ class Engine {
   /// The engine borrows `points`: the caller keeps ownership and must
   /// keep the vector alive and unmodified for the engine's lifetime
   /// (points are immutable input — re-clustering new data is a new
-  /// engine, there is no invalidation path).
+  /// engine, there is no invalidation path). Mutable point sets layer on
+  /// top rather than in here: stream/streaming_engine.h pairs an Engine
+  /// over a frozen base with a side delta buffer and replaces the engine
+  /// wholesale at rebuild, keeping this immutability contract intact.
   explicit Engine(const std::vector<Point<DIM>>& points,
                   EngineConfig config = {})
       : points_(&points),

@@ -32,6 +32,9 @@ enum class ErrorCode : std::uint8_t {
   kCancelled,               ///< request cancelled via its CancelToken
   kDeadlineExceeded,        ///< request deadline elapsed before completion
   kInternal,                ///< unexpected failure inside a dispatcher
+  kTokenBusy,               ///< CancelToken already bound to an in-flight request
+  kInvalidSession,          ///< session unknown, closed, or failed to open
+  kSessionLimit,            ///< open-session table at capacity
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
@@ -45,6 +48,9 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kTokenBusy: return "TokenBusy";
+    case ErrorCode::kInvalidSession: return "InvalidSession";
+    case ErrorCode::kSessionLimit: return "SessionLimit";
   }
   return "UnknownError";
 }

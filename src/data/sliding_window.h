@@ -1,0 +1,94 @@
+// Sliding-window driver over an arrival-ordered point stream.
+//
+// The streaming benches and tests (bench/stream_throughput.cpp,
+// tests/test_stream.cpp) all replay the same workload shape over the
+// trajectory generators: points arrive in batches, a window of the W
+// most recent points stays live, everything older expires. This header
+// is that loop, factored once: a SlidingWindow walks a pre-generated
+// vector (the generators are deterministic, so the whole arrival order
+// is known up front) and yields one WindowStep per batch — the points
+// to insert() and the sequence horizon to expire(), in the order a
+// session would apply them. The driver is pure bookkeeping: it never
+// touches an engine, so the same step sequence can feed a
+// stream::StreamingEngine, a service session, and the from-scratch
+// reference runs of an equivalence check.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace fdbscan::data {
+
+/// One step of a sliding-window replay: first expire everything below
+/// `expire_before` (sequence numbers == arrival indices), then insert
+/// `batch`. After applying both, the live set is arrivals
+/// [expire_before, next_seq) — exactly `live_count` points.
+template <int DIM>
+struct WindowStep {
+  std::span<const Point<DIM>> batch;  ///< points arriving this step
+  std::int64_t first_seq = 0;         ///< sequence number of batch[0]
+  std::int64_t expire_before = 0;     ///< expire horizon applied *before* insert
+  std::int64_t live_count = 0;        ///< live points after the step
+};
+
+/// Replays `stream` (arrival order) in batches of `batch_size`, keeping
+/// at most `window` points live. The final batch may be short. The
+/// expire horizon trails the insert so the live set never exceeds
+/// `window`: step i inserts arrivals [i*B, i*B + b) and first expires
+/// everything below i*B + b - window.
+template <int DIM>
+class SlidingWindow {
+ public:
+  SlidingWindow(const std::vector<Point<DIM>>& stream, std::int64_t window,
+                std::int64_t batch_size) noexcept
+      : stream_(stream.data(), stream.size()),
+        window_(std::max<std::int64_t>(window, 1)),
+        batch_(std::max<std::int64_t>(batch_size, 1)) {}
+
+  [[nodiscard]] bool done() const noexcept {
+    return cursor_ >= static_cast<std::int64_t>(stream_.size());
+  }
+
+  [[nodiscard]] std::int64_t num_steps() const noexcept {
+    const auto n = static_cast<std::int64_t>(stream_.size());
+    return (n + batch_ - 1) / batch_;
+  }
+
+  /// The next step. Precondition: !done().
+  [[nodiscard]] WindowStep<DIM> next() noexcept {
+    const auto n = static_cast<std::int64_t>(stream_.size());
+    const std::int64_t b = std::min(batch_, n - cursor_);
+    WindowStep<DIM> step;
+    step.first_seq = cursor_;
+    step.batch = stream_.subspan(static_cast<std::size_t>(cursor_),
+                                 static_cast<std::size_t>(b));
+    step.expire_before = std::max<std::int64_t>(0, cursor_ + b - window_);
+    step.live_count = cursor_ + b - step.expire_before;
+    cursor_ += b;
+    return step;
+  }
+
+  /// The live arrivals after the step that `next()` just returned —
+  /// the from-scratch reference point set of an equivalence check.
+  [[nodiscard]] std::vector<Point<DIM>> live_points() const {
+    const std::int64_t lo = std::max<std::int64_t>(0, cursor_ - window_);
+    std::vector<Point<DIM>> out;
+    out.reserve(static_cast<std::size_t>(cursor_ - lo));
+    for (std::int64_t i = lo; i < cursor_; ++i) {
+      out.push_back(stream_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+ private:
+  std::span<const Point<DIM>> stream_;
+  std::int64_t window_;
+  std::int64_t batch_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace fdbscan::data

@@ -301,11 +301,9 @@ template <int DIM>
 [[nodiscard]] Expected<DistributedResult<DIM>> distributed_cluster(
     const std::vector<Point<DIM>>& points, const Parameters& params,
     const DistributedConfig<DIM>& config, const Options& options = {}) {
-  if (config.num_ranks() <= 0) {
-    return Error{ErrorCode::kInvalidShards,
-                 "rank grid must be positive in every dimension, product "
-                 "was " +
-                     std::to_string(config.num_ranks())};
+  if (auto error = validate_shard_count(config.num_ranks(), 1, "rank grid "
+                                        "product")) {
+    return *std::move(error);
   }
   if (auto error = validate_input(points, params, options)) {
     return *std::move(error);

@@ -23,10 +23,12 @@
 #include "core/fdbscan_densebox.h"      // IWYU pragma: export
 #include "core/fdbscan_periodic.h"      // IWYU pragma: export
 #include "core/parameter_selection.h"   // IWYU pragma: export
+#include "core/request.h"               // IWYU pragma: export
 #include "core/status.h"                // IWYU pragma: export
 #include "core/validate.h"              // IWYU pragma: export
 #include "data/generators.h"            // IWYU pragma: export
 #include "data/io.h"                    // IWYU pragma: export
+#include "data/sliding_window.h"        // IWYU pragma: export
 #include "distributed/distributed_dbscan.h"  // IWYU pragma: export
 #include "exec/cancel.h"                // IWYU pragma: export
 #include "exec/memory_tracker.h"        // IWYU pragma: export
@@ -35,6 +37,7 @@
 #include "exec/workspace.h"             // IWYU pragma: export
 #include "service/service.h"            // IWYU pragma: export
 #include "shard/sharded_engine.h"       // IWYU pragma: export
+#include "stream/streaming_engine.h"    // IWYU pragma: export
 #include "geometry/box.h"               // IWYU pragma: export
 #include "geometry/morton.h"            // IWYU pragma: export
 #include "geometry/point.h"             // IWYU pragma: export

@@ -20,16 +20,32 @@
 // resolves to Error{kCancelled | kDeadlineExceeded}.
 //
 // Sharded execution: ServiceConfig::shards (or the per-request
-// SubmitOptions::shards override) routes a request through a pooled
+// RequestSpec::shards override) routes a request through a pooled
 // ShardedEngine (shard/sharded_engine.h) instead of the single Engine —
 // same dataset id, same warm-pool amortization, same deadline/cancel
 // semantics (the request's token reaches every shard's kernels).
 //
-// Knobs: FDBSCAN_SERVICE_QUEUE_CAP, FDBSCAN_SERVICE_DISPATCHERS and
-// FDBSCAN_SERVICE_SHARDS seed ServiceConfig::from_env().
+// Streaming sessions (DESIGN.md §14): open_session(dataset_id, points,
+// spec) pins the dataset's pooled entry and returns a Session handle
+// whose append()/expire()/query() enqueue *stateful* operations against
+// a stream::StreamingEngine owned by the session. Session operations
+// ride the same queue, dispatchers, watchdog, request ids and metrics as
+// one-shot submits; per session they execute strictly in submission
+// order (a ticket protocol across dispatchers), so a query observes
+// exactly the mutations enqueued before it. Query parameters are pinned
+// at open (that is what makes incremental maintenance sound); per-op
+// deadlines and tokens still apply.
+//
+// Knobs: FDBSCAN_SERVICE_QUEUE_CAP, FDBSCAN_SERVICE_DISPATCHERS,
+// FDBSCAN_SERVICE_SHARDS, FDBSCAN_SERVICE_SESSION_CAP and
+// FDBSCAN_SESSION_REBUILD_PCT seed ServiceConfig::from_env().
 //
 // Caveat: per-request Options::memory trackers are not thread-safe; do
 // not share one MemoryTracker across requests that may run concurrently.
+// A CancelToken, by contrast, is explicitly guarded: a submit whose
+// caller-supplied token is already observing an in-flight request is
+// rejected with kTokenBusy instead of racing the first request's
+// deadline/cancel lifecycle (DESIGN.md §10).
 #pragma once
 
 #include <array>
@@ -41,25 +57,30 @@
 #include <functional>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/cluster.h"
+#include "core/request.h"
 #include "exec/cancel.h"
 #include "obs/metrics.h"
 #include "obs/request_id.h"
 #include "service/engine_pool.h"
 #include "shard/sharded_engine.h"
+#include "stream/streaming_engine.h"
 
 namespace fdbscan::service {
 
-/// Sentinel for "no deadline" in SubmitOptions::deadline_ms.
-inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+/// Sentinel for "no deadline" — one value shared with RequestSpec
+/// (core/request.h), re-exported here for source compatibility.
+using fdbscan::kNoDeadline;
 
 struct ServiceConfig {
   /// Maximum queued (not yet dispatched) requests; a full queue rejects
@@ -70,10 +91,18 @@ struct ServiceConfig {
   std::int32_t dispatchers = 2;
   /// Engine-pool LRU capacity (warm datasets kept resident).
   std::int32_t engine_capacity = 8;
-  /// Default shard count for requests that leave SubmitOptions::shards
+  /// Default shard count for requests that leave RequestSpec::shards
   /// at 0. 1 = single-engine execution; > 1 runs every request through a
   /// pooled ShardedEngine. Env: FDBSCAN_SERVICE_SHARDS.
   std::int32_t shards = 1;
+  /// Maximum concurrently open streaming sessions; open_session beyond
+  /// it rejects with kSessionLimit. Env: FDBSCAN_SERVICE_SESSION_CAP.
+  std::int32_t session_capacity = 16;
+  /// Session rebuild threshold as a percentage: a session's streaming
+  /// engine re-sorts + rebuilds its BVH when pending work (live delta
+  /// points + retired slots) exceeds this percent of the live set.
+  /// Env: FDBSCAN_SESSION_REBUILD_PCT.
+  std::int32_t session_rebuild_pct = 25;
 
   /// Defaults overridden by the FDBSCAN_SERVICE_* environment knobs.
   [[nodiscard]] static ServiceConfig from_env();
@@ -102,12 +131,22 @@ struct LatencySummary {
 struct ServiceMetrics {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
-  std::int64_t rejected = 0;           ///< kQueueFull at admission
+  std::int64_t rejected = 0;           ///< kQueueFull/kTokenBusy at admission
   std::int64_t cancelled = 0;          ///< kCancelled (token or shutdown)
   std::int64_t deadline_exceeded = 0;  ///< kDeadlineExceeded
   std::int64_t failed = 0;             ///< validation or internal errors
   std::int64_t queued = 0;             ///< instantaneous queue depth
   std::int64_t active = 0;             ///< requests inside a dispatcher
+  /// Streaming-session traffic (DESIGN.md §14). Session operations also
+  /// count in the request totals above; these break them out, and
+  /// session_rebuilds totals the Morton re-sort + BVH rebuilds their
+  /// streaming engines performed.
+  std::int64_t sessions_open = 0;      ///< instantaneous open sessions
+  std::int64_t session_opened = 0;     ///< sessions ever opened
+  std::int64_t session_appends = 0;    ///< append operations completed
+  std::int64_t session_expires = 0;    ///< expire operations completed
+  std::int64_t session_queries = 0;    ///< query operations completed
+  std::int64_t session_rebuilds = 0;   ///< index rebuilds across sessions
   LatencySummary queue_wait;           ///< submit -> dispatch
   LatencySummary run_time;             ///< dispatch -> future resolved
 };
@@ -127,25 +166,48 @@ struct ServiceSnapshot {
 [[nodiscard]] std::string to_prometheus_text(const ServiceSnapshot& snap);
 [[nodiscard]] std::string to_json(const ServiceSnapshot& snap);
 
+/// Legacy request shape, kept as a shim: submit(dataset, points, params,
+/// SubmitOptions) folds into a RequestSpec (core/request.h) and forwards
+/// to the spec overload — one validation path, one queue. New call sites
+/// should pass a RequestSpec directly.
 struct SubmitOptions {
   Options options{};
   Method method = Method::kAuto;
-  /// Total latency budget (queue wait + run) in milliseconds, enforced
-  /// by the watchdog. kNoDeadline disables it; a value <= 0 fails fast
-  /// with kDeadlineExceeded before any kernel runs.
+  /// See RequestSpec::deadline_ms.
   double deadline_ms = kNoDeadline;
-  /// Caller-held cancellation handle; the service creates a private one
-  /// when absent. request_cancel() resolves the future with kCancelled
-  /// within one chunk-quantum if the request is running.
+  /// See RequestSpec::token.
   std::shared_ptr<exec::CancelToken> token{};
-  /// Shard count for this request: 0 = use ServiceConfig::shards, 1 =
-  /// single-engine, > 1 = sharded execution. Anything else rejects with
-  /// kInvalidShards. Sharded runs always execute plain FDBSCAN (the
-  /// decomposition is FDBSCAN's; `method` is ignored when shards > 1).
+  /// See RequestSpec::shards (0 = ServiceConfig::shards).
   std::int32_t shards = 0;
+
+  [[nodiscard]] RequestSpec to_spec(const Parameters& params) const {
+    RequestSpec spec;
+    spec.params = params;
+    spec.options = options;
+    spec.method = method;
+    spec.shards = shards;
+    spec.deadline_ms = deadline_ms;
+    spec.token = token;
+    return spec;
+  }
 };
 
 using ServiceResult = Expected<Clustering, Error>;
+
+/// What a session mutation (open/append/expire) reports back: where the
+/// stream now stands. Sequence numbers are assigned in arrival order
+/// starting at 0 (the initial point set of open_session occupies
+/// [0, points.size())).
+struct SessionDelta {
+  std::uint64_t session = 0;     ///< owning session id
+  std::int64_t first_seq = 0;    ///< first sequence number this op appended
+  std::int64_t next_seq = 0;     ///< sequence the next append will start at
+  std::int64_t live_points = 0;  ///< live (non-expired) points after the op
+  std::int64_t expired = 0;      ///< points this op retired
+  std::int64_t rebuilds = 0;     ///< cumulative index rebuilds of the session
+};
+
+using SessionResult = Expected<SessionDelta, Error>;
 
 namespace detail {
 
@@ -281,6 +343,56 @@ struct WatchdogEntry {
   std::uint32_t generation = 0;
 };
 
+/// Shared state of one streaming session. The service's session table
+/// and every queued operation hold it by shared_ptr, so the streaming
+/// engine (and the pool Pin keeping its dataset resident) outlives
+/// close() until the last queued op resolves.
+///
+/// Concurrency: `next_ticket` is guarded by the service queue mutex
+/// (tickets are assigned at enqueue, in queue order); `current` and
+/// `abandoned` by `mutex` (the ticket turnstile — see SessionTurn in
+/// service.cpp). Everything else is written only by the op that holds
+/// the session's current ticket, so it needs no lock of its own.
+struct SessionState {
+  std::uint64_t id = 0;
+  std::string dataset_id;
+  int dim = 0;
+  RequestSpec spec;  ///< pinned at open; per-op deadline/token override
+
+  /// Type-erased stream::StreamingEngine<DIM> plus its accessors, set by
+  /// the open operation (open_fn). Null until the open ran.
+  std::shared_ptr<void> stream;
+  Clustering (*query_fn)(void*) = nullptr;
+  std::int64_t (*append_fn)(void*, const void* batch) = nullptr;
+  std::int64_t (*expire_fn)(void*, std::int64_t before_seq) = nullptr;
+  stream::StreamCounters (*counters_fn)(const void*) = nullptr;
+  std::int64_t (*size_fn)(const void*) = nullptr;
+  std::int64_t (*next_seq_fn)(const void*) = nullptr;
+  /// O(n) coordinate scan of an append batch (same check submit()'s
+  /// dispatcher scan applies to a dataset).
+  std::optional<Error> (*batch_scan_fn)(const void* batch) = nullptr;
+  /// Deferred open work (pin + scan + engine construction), built by the
+  /// templated open_session and run on a dispatcher under ticket 0.
+  std::function<std::optional<Error>(SessionState&)> open_fn;
+
+  /// Keeps the dataset's pooled engine resident for the session's life.
+  std::optional<EnginePool::Pin> pin;
+
+  /// Ticket turnstile: ops execute in ticket order regardless of which
+  /// dispatcher picked them up.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t next_ticket = 0;  // guarded by the service queue mutex
+  std::uint64_t current = 0;      // guarded by mutex
+  std::set<std::uint64_t> abandoned;  // cancelled-before-turn tickets
+
+  /// Set by the open op when it fails; every later op returns the error.
+  bool failed = false;
+  Error open_error{};
+  /// index_rebuilds already folded into the service-wide counter.
+  std::int64_t reported_rebuilds = 0;
+};
+
 }  // namespace detail
 
 class ClusterService {
@@ -294,14 +406,15 @@ class ClusterService {
   /// Submit a clustering request against dataset `dataset_id`. The
   /// service shares ownership of `points` for as long as the dataset's
   /// engine stays pooled; all submits naming one id must pass the same
-  /// points. Scalar parameters are validated here (immediate error
-  /// future); the O(n) coordinate scan runs on a dispatcher, once per
-  /// pooled dataset. Never blocks on a full queue — it rejects.
+  /// points. The spec's scalar half is validated here via the shared
+  /// validate_spec path (immediate error future); the O(n) coordinate
+  /// scan runs on a dispatcher, once per pooled dataset. Never blocks on
+  /// a full queue — it rejects.
   template <int DIM>
   [[nodiscard]] std::future<ServiceResult> submit(
       const std::string& dataset_id,
       std::shared_ptr<const std::vector<Point<DIM>>> points,
-      const Parameters& params, SubmitOptions submit = {}) {
+      RequestSpec spec) {
     std::promise<ServiceResult> promise;
     std::future<ServiceResult> future = promise.get_future();
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -312,33 +425,23 @@ class ClusterService {
       promise.set_value(Error{ErrorCode::kInternal, "points must not be null"});
       return future;
     }
-    if (auto error = validate_parameters(params, submit.options)) {
+    if (auto error = validate_spec(spec)) {
       failed_.fetch_add(1, std::memory_order_relaxed);
       obs_.failed.inc();
       promise.set_value(*std::move(error));
-      return future;
-    }
-    const std::int32_t shards =
-        submit.shards != 0 ? submit.shards : config_.shards;
-    if (shards < 1) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      obs_.failed.inc();
-      promise.set_value(Error{ErrorCode::kInvalidShards,
-                              "shards must be >= 1, got " +
-                                  std::to_string(shards)});
       return future;
     }
     Request req;
     req.id = obs::mint_request_id();
     req.dataset_id = dataset_id;
     req.dim = DIM;
-    req.params = params;
-    req.options = submit.options;
-    req.method = submit.method;
-    req.shards = shards;
-    req.token_private = (submit.token == nullptr);
-    req.token = submit.token ? std::move(submit.token)
-                             : std::make_shared<exec::CancelToken>();
+    req.params = spec.params;
+    req.options = spec.options;
+    req.method = spec.method;
+    req.shards = spec.shards != 0 ? spec.shards : config_.shards;
+    req.token_private = (spec.token == nullptr);
+    req.token = spec.token ? std::move(spec.token)
+                           : std::make_shared<exec::CancelToken>();
     req.promise = std::move(promise);
     req.make_engine = [points]() -> std::shared_ptr<void> {
       return std::make_shared<detail::EngineHolder<DIM>>(points);
@@ -346,8 +449,195 @@ class ClusterService {
     req.counters = &detail::counters_typed<DIM>;
     req.scan = &detail::scan_typed<DIM>;
     req.run = &detail::run_typed<DIM>;
-    enqueue(std::move(req), submit.deadline_ms);
+    enqueue(std::move(req), spec.deadline_ms);
     return future;
+  }
+
+  /// Legacy submit shape; folds into a RequestSpec and forwards.
+  template <int DIM>
+  [[nodiscard]] std::future<ServiceResult> submit(
+      const std::string& dataset_id,
+      std::shared_ptr<const std::vector<Point<DIM>>> points,
+      const Parameters& params, SubmitOptions submit_options = {}) {
+    return submit<DIM>(dataset_id, std::move(points),
+                       submit_options.to_spec(params));
+  }
+
+  /// Stateful handle to one streaming session (move-only). Obtained from
+  /// open_session(); destroying it (or calling close()) closes the
+  /// session — already-enqueued operations still run to completion, new
+  /// ones reject with kInvalidSession.
+  class Session {
+   public:
+    Session() = default;
+    Session(Session&& other) noexcept
+        : service_(other.service_), id_(other.id_) {
+      other.service_ = nullptr;
+    }
+    Session& operator=(Session&& other) noexcept {
+      if (this != &other) {
+        close();
+        service_ = other.service_;
+        id_ = other.id_;
+        other.service_ = nullptr;
+      }
+      return *this;
+    }
+    ~Session() { close(); }
+
+    [[nodiscard]] bool valid() const noexcept { return service_ != nullptr; }
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+    /// Append a batch to the stream. The future resolves with the first
+    /// sequence number of the batch (SessionDelta::first_seq) once the
+    /// dispatcher absorbed it — incrementally while the session's
+    /// union-find is valid. DIM must match the session's dimension.
+    template <int DIM>
+    [[nodiscard]] std::future<SessionResult> append(
+        std::shared_ptr<const std::vector<Point<DIM>>> points,
+        double deadline_ms = kNoDeadline,
+        std::shared_ptr<exec::CancelToken> token = {}) {
+      if (service_ == nullptr) return invalid_handle();
+      return service_->session_append<DIM>(id_, std::move(points), deadline_ms,
+                                           std::move(token));
+    }
+
+    /// Retire every point with sequence number < before_seq.
+    [[nodiscard]] std::future<SessionResult> expire(
+        std::int64_t before_seq, double deadline_ms = kNoDeadline,
+        std::shared_ptr<exec::CancelToken> token = {}) {
+      if (service_ == nullptr) return invalid_handle();
+      return service_->session_expire(id_, before_seq, deadline_ms,
+                                      std::move(token));
+    }
+
+    /// Cluster the session's live point set under the spec pinned at
+    /// open. Observes exactly the mutations enqueued before this call.
+    [[nodiscard]] std::future<ServiceResult> query(
+        double deadline_ms = kNoDeadline,
+        std::shared_ptr<exec::CancelToken> token = {}) {
+      if (service_ == nullptr) {
+        std::promise<ServiceResult> p;
+        p.set_value(Error{ErrorCode::kInvalidSession,
+                          "session handle is empty or already closed"});
+        return p.get_future();
+      }
+      return service_->session_query(id_, deadline_ms, std::move(token));
+    }
+
+    /// Close the session: new operations reject, queued ones finish, and
+    /// the engine-pool Pin releases once the last queued op resolved.
+    void close() {
+      if (service_ != nullptr) {
+        service_->close_session(id_);
+        service_ = nullptr;
+      }
+    }
+
+   private:
+    friend class ClusterService;
+    Session(ClusterService* service, std::uint64_t id)
+        : service_(service), id_(id) {}
+
+    [[nodiscard]] static std::future<SessionResult> invalid_handle() {
+      std::promise<SessionResult> p;
+      p.set_value(Error{ErrorCode::kInvalidSession,
+                        "session handle is empty or already closed"});
+      return p.get_future();
+    }
+
+    ClusterService* service_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Open a streaming session on `dataset_id`, seeded with `points`
+  /// (sequence numbers [0, points.size())). The spec — params, options,
+  /// single-engine method — is pinned for the session's lifetime; its
+  /// deadline/token govern the open operation itself. Scalar validation
+  /// and the session-table capacity check happen here (immediate error);
+  /// the O(n) scan, the pool pin and the streaming-engine construction
+  /// run on a dispatcher, strictly before any of the session's other
+  /// operations (ticket 0). An open failure surfaces on every subsequent
+  /// operation of that session.
+  template <int DIM>
+  [[nodiscard]] Expected<Session, Error> open_session(
+      const std::string& dataset_id,
+      std::shared_ptr<const std::vector<Point<DIM>>> points,
+      RequestSpec spec = {}) {
+    if (!points) {
+      return Error{ErrorCode::kInternal, "points must not be null"};
+    }
+    if (auto error = validate_spec(spec)) return *std::move(error);
+    if (spec.shards > 1) {
+      return Error{ErrorCode::kInvalidShards,
+                   "streaming sessions are single-engine; shards must be 0 "
+                   "or 1, got " + std::to_string(spec.shards)};
+    }
+    auto state = std::make_shared<detail::SessionState>();
+    state->dataset_id = dataset_id;
+    state->dim = DIM;
+    state->spec = spec;
+    const float rebuild_fraction =
+        static_cast<float>(config_.session_rebuild_pct) / 100.0f;
+    state->open_fn = [this, points, rebuild_fraction](
+                         detail::SessionState& s) -> std::optional<Error> {
+      // Pin first: the session's dataset must be resident (and stay so)
+      // even though the streaming engine owns its own copy — one-shot
+      // submits against the same id keep hitting a warm engine.
+      s.pin.emplace(pool_.pin(
+          s.dataset_id, DIM,
+          [points]() -> std::shared_ptr<void> {
+            return std::make_shared<detail::EngineHolder<DIM>>(points);
+          },
+          &detail::counters_typed<DIM>));
+      const auto n = static_cast<std::int64_t>(points->size());
+      const std::int64_t bad = fdbscan::detail::first_non_finite(*points);
+      if (bad < n) {
+        return Error{ErrorCode::kNonFinitePoint,
+                     "point " + std::to_string(bad) +
+                         " has a non-finite coordinate"};
+      }
+      stream::StreamConfig sc;
+      sc.rebuild_fraction = rebuild_fraction;
+      s.stream = std::make_shared<stream::StreamingEngine<DIM>>(
+          *points, s.spec.params, s.spec.options, sc);
+      s.query_fn = [](void* p) {
+        return static_cast<stream::StreamingEngine<DIM>*>(p)->query();
+      };
+      s.append_fn = [](void* p, const void* batch) {
+        return static_cast<stream::StreamingEngine<DIM>*>(p)->insert(
+            *static_cast<const std::vector<Point<DIM>>*>(batch));
+      };
+      s.expire_fn = [](void* p, std::int64_t before_seq) {
+        return static_cast<stream::StreamingEngine<DIM>*>(p)->expire(
+            before_seq);
+      };
+      s.counters_fn = [](const void* p) {
+        return static_cast<const stream::StreamingEngine<DIM>*>(p)->counters();
+      };
+      s.size_fn = [](const void* p) {
+        return static_cast<const stream::StreamingEngine<DIM>*>(p)->size();
+      };
+      s.next_seq_fn = [](const void* p) {
+        return static_cast<const stream::StreamingEngine<DIM>*>(p)
+            ->next_seq();
+      };
+      s.batch_scan_fn = [](const void* batch) -> std::optional<Error> {
+        const auto& pts =
+            *static_cast<const std::vector<Point<DIM>>*>(batch);
+        const auto k = static_cast<std::int64_t>(pts.size());
+        const std::int64_t bad_at = fdbscan::detail::first_non_finite(pts);
+        if (bad_at < k) {
+          return Error{ErrorCode::kNonFinitePoint,
+                       "batch point " + std::to_string(bad_at) +
+                           " has a non-finite coordinate"};
+        }
+        return std::nullopt;
+      };
+      return std::nullopt;
+    };
+    return register_session(std::move(state), spec.deadline_ms,
+                            std::move(spec.token));
   }
 
   /// Blocks until the queue is empty and no dispatcher is running a
@@ -367,10 +657,22 @@ class ClusterService {
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
  private:
+  /// What a queued request does. kCluster and kSessionQuery resolve
+  /// `promise` (a Clustering); the session mutations resolve
+  /// `delta_promise` (a SessionDelta).
+  enum class Op : std::uint8_t {
+    kCluster,
+    kSessionOpen,
+    kSessionAppend,
+    kSessionExpire,
+    kSessionQuery,
+  };
+
   struct Request {
     /// Correlation id minted at submit() (obs/request_id.h); carried by
     /// the dispatcher's trace spans and structured log lines.
     obs::RequestId id = 0;
+    Op op = Op::kCluster;
     std::string dataset_id;
     int dim = 0;
     Parameters params{};
@@ -381,7 +683,8 @@ class ClusterService {
     /// True when the service created the token itself. The deadline_ms
     /// <= 0 fast-fail may only raise private tokens: poisoning a
     /// caller's shared token would cancel the caller's other in-flight
-    /// requests (DESIGN.md §10).
+    /// requests (DESIGN.md §10). Caller tokens are additionally
+    /// registered busy for the request's lifetime (kTokenBusy).
     bool token_private = false;
     std::int64_t submit_ns = 0;
     std::promise<ServiceResult> promise;
@@ -390,6 +693,12 @@ class ClusterService {
     std::optional<Error> (*scan)(const void*) = nullptr;
     Clustering (*run)(void*, const Parameters&, const Options&, Method,
                       std::int32_t) = nullptr;
+    /// Session-op fields (op != kCluster).
+    std::shared_ptr<detail::SessionState> session;
+    std::promise<SessionResult> delta_promise;
+    std::shared_ptr<const void> payload;  ///< append batch (vector<Point>)
+    std::int64_t expire_before = 0;
+    std::uint64_t ticket = 0;  ///< position in the session's turnstile
   };
 
   struct AtomicHistogram {
@@ -428,11 +737,63 @@ class ClusterService {
     }
   };
 
+  template <int DIM>
+  [[nodiscard]] std::future<SessionResult> session_append(
+      std::uint64_t id,
+      std::shared_ptr<const std::vector<Point<DIM>>> points,
+      double deadline_ms, std::shared_ptr<exec::CancelToken> token) {
+    auto state = find_session(id);
+    if (!state) {
+      return reject_session(Error{ErrorCode::kInvalidSession,
+                                  "unknown or closed session " +
+                                      std::to_string(id)});
+    }
+    if (!points) {
+      return reject_session(
+          Error{ErrorCode::kInternal, "points must not be null"});
+    }
+    if (state->dim != DIM) {
+      return reject_session(Error{
+          ErrorCode::kInvalidSession,
+          "append dimension (" + std::to_string(DIM) +
+              ") does not match the session's (" +
+              std::to_string(state->dim) + ")"});
+    }
+    return enqueue_session_op(std::move(state), Op::kSessionAppend,
+                              std::shared_ptr<const void>(std::move(points)),
+                              0, deadline_ms, std::move(token));
+  }
+
+  /// Session-op plumbing (service.cpp): registration, turnstile enqueue,
+  /// lookup, close.
+  [[nodiscard]] Expected<Session, Error> register_session(
+      std::shared_ptr<detail::SessionState> state, double deadline_ms,
+      std::shared_ptr<exec::CancelToken> token);
+  [[nodiscard]] std::shared_ptr<detail::SessionState> find_session(
+      std::uint64_t id);
+  [[nodiscard]] std::future<SessionResult> enqueue_session_op(
+      std::shared_ptr<detail::SessionState> state, Op op,
+      std::shared_ptr<const void> payload, std::int64_t expire_before,
+      double deadline_ms, std::shared_ptr<exec::CancelToken> token);
+  [[nodiscard]] std::future<SessionResult> session_expire(
+      std::uint64_t id, std::int64_t before_seq, double deadline_ms,
+      std::shared_ptr<exec::CancelToken> token);
+  [[nodiscard]] std::future<ServiceResult> session_query(
+      std::uint64_t id, double deadline_ms,
+      std::shared_ptr<exec::CancelToken> token);
+  [[nodiscard]] std::future<SessionResult> reject_session(Error error);
+  void close_session(std::uint64_t id);
+
+  static void reject_request(Request& req, Error error);
   void enqueue(Request req, double deadline_ms);
   void dispatcher_loop(int index);
   void watchdog_loop();
   void process(Request& req, std::int64_t& track_floor_ns);
   [[nodiscard]] ServiceResult run_request(Request& req);
+  [[nodiscard]] SessionResult run_session_mutation(Request& req);
+  /// Fold a session's not-yet-reported index rebuilds into the
+  /// service-wide counter. Caller must hold the session's turn.
+  void note_session_rebuilds(detail::SessionState& s);
 
   ServiceConfig config_;
   EnginePool pool_;
@@ -443,6 +804,14 @@ class ClusterService {
   std::deque<Request> queue_;
   int active_ = 0;       // guarded by queue_mutex_
   bool stopping_ = false;  // guarded by queue_mutex_
+  /// Caller-supplied tokens with a request in flight (queued or
+  /// running); a second submit sharing one rejects with kTokenBusy.
+  /// Guarded by queue_mutex_.
+  std::set<const exec::CancelToken*> busy_tokens_;
+  /// Open sessions by id. Guarded by queue_mutex_ (ops look up their
+  /// session here; close erases).
+  std::map<std::uint64_t, std::shared_ptr<detail::SessionState>> sessions_;
+  std::uint64_t next_session_id_ = 1;  // guarded by queue_mutex_
 
   // Deadline watchdog: min-heap of detail::WatchdogEntry (absolute
   // trace_now_ns deadline, token, token generation — see the struct doc
@@ -458,6 +827,11 @@ class ClusterService {
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> session_opened_{0};
+  std::atomic<std::int64_t> session_appends_{0};
+  std::atomic<std::int64_t> session_expires_{0};
+  std::atomic<std::int64_t> session_queries_{0};
+  std::atomic<std::int64_t> session_rebuilds_{0};
   AtomicHistogram queue_wait_;
   AtomicHistogram run_time_;
 
@@ -480,6 +854,17 @@ class ClusterService {
     obs::Counter& failed = obs::counter("fdbscan_service_failed_total");
     obs::Gauge& queued = obs::gauge("fdbscan_service_queue_depth");
     obs::Gauge& active = obs::gauge("fdbscan_service_active_requests");
+    obs::Gauge& sessions_open = obs::gauge("fdbscan_service_sessions_open");
+    obs::Counter& session_opened =
+        obs::counter("fdbscan_service_session_opened_total");
+    obs::Counter& session_appends =
+        obs::counter("fdbscan_service_session_append_total");
+    obs::Counter& session_expires =
+        obs::counter("fdbscan_service_session_expire_total");
+    obs::Counter& session_queries =
+        obs::counter("fdbscan_service_session_query_total");
+    obs::Counter& session_rebuilds =
+        obs::counter("fdbscan_service_session_rebuilds_total");
     obs::Histogram& queue_wait =
         obs::histogram("fdbscan_service_queue_wait");
     obs::Histogram& run_time = obs::histogram("fdbscan_service_run_time");

@@ -620,10 +620,30 @@ template <int DIM>
 [[nodiscard]] Expected<ShardedResult> cluster_sharded(
     ShardedEngine<DIM>& engine, const Parameters& params,
     const Options& options = {}) {
+  if (auto error = validate_shard_count(engine.num_shards())) {
+    return *std::move(error);
+  }
   if (auto error = validate_input(engine.points(), params, options)) {
     return *std::move(error);
   }
   return engine.run(params, options);
+}
+
+/// RequestSpec front door: validate_spec (the shared path of
+/// core/request.h) plus the coordinate scan. spec.method is ignored —
+/// sharded execution is FDBSCAN's decomposition — and spec.shards, when
+/// nonzero, must match the engine's shard count.
+template <int DIM>
+[[nodiscard]] Expected<ShardedResult> cluster_sharded(
+    ShardedEngine<DIM>& engine, const RequestSpec& spec) {
+  if (auto error = validate_spec(spec)) return *std::move(error);
+  if (spec.shards != 0 && spec.shards != engine.num_shards()) {
+    return Error{ErrorCode::kInvalidShards,
+                 "spec.shards (" + std::to_string(spec.shards) +
+                     ") does not match the engine's shard count (" +
+                     std::to_string(engine.num_shards()) + ")"};
+  }
+  return cluster_sharded(engine, spec.params, spec.options);
 }
 
 }  // namespace fdbscan::shard

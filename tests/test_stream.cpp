@@ -1,0 +1,340 @@
+// StreamingEngine (stream/streaming_engine.h): label equivalence of the
+// incremental insert/expire path against from-scratch runs on the same
+// logical point set, rebuild amortization (appends below the threshold
+// leave index_rebuilds at zero), lazy expiry, sequence-number stability
+// across rebuilds, and cancellation rollback.
+#include "stream/streaming_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fdbscan.h"
+#include "core/fdbscan_densebox.h"
+#include "core/validate.h"
+#include "data/generators.h"
+#include "data/sliding_window.h"
+#include "exec/cancel.h"
+#include "test_utils.h"
+
+namespace fdbscan::stream {
+namespace {
+
+using fdbscan::testing::ScopedThreads;
+
+/// Checks one streaming query against BOTH from-scratch algorithms on
+/// the same live point set. Core flags are algorithm-independent, so
+/// the streaming result must be equivalent to each (bit-identical core
+/// flags, bijective core partition, witnessed borders).
+template <int DIM>
+void expect_equivalent(const std::vector<Point<DIM>>& live,
+                       const Parameters& params, const Options& options,
+                       const Clustering& streamed, const char* where) {
+  const Clustering ref_fd = fdbscan(live, params, options);
+  const auto check_fd =
+      equivalent_clusterings(live, params, ref_fd, streamed, options.variant);
+  EXPECT_TRUE(check_fd.ok) << where << " vs fdbscan: " << check_fd.message;
+  const Clustering ref_db = fdbscan_densebox(live, params, options);
+  const auto check_db =
+      equivalent_clusterings(live, params, ref_db, streamed, options.variant);
+  EXPECT_TRUE(check_db.ok) << where << " vs densebox: " << check_db.message;
+}
+
+/// Replays a sliding window through a StreamingEngine, checking every
+/// step's query for equivalence. Returns the engine's final counters.
+template <int DIM>
+StreamCounters replay_and_check(const std::vector<Point<DIM>>& arrivals,
+                                std::int64_t window, std::int64_t batch,
+                                const Parameters& params,
+                                const Options& options,
+                                const StreamConfig& config = {}) {
+  data::SlidingWindow<DIM> driver(arrivals, window, batch);
+  StreamingEngine<DIM> engine(params, options, config);
+  std::int64_t step = 0;
+  while (!driver.done()) {
+    const data::WindowStep<DIM> s = driver.next();
+    (void)engine.expire(s.expire_before);
+    const std::int64_t first = engine.insert(s.batch);
+    EXPECT_EQ(first, s.first_seq) << "step " << step;
+    EXPECT_EQ(engine.size(), s.live_count) << "step " << step;
+    EXPECT_EQ(engine.first_live_seq(), s.expire_before) << "step " << step;
+    const std::vector<Point<DIM>> live = driver.live_points();
+    const Clustering streamed = engine.query();
+    const std::string where = "step " + std::to_string(step);
+    expect_equivalent(live, params, options, streamed, where.c_str());
+    ++step;
+  }
+  return engine.counters();
+}
+
+// --- Equivalence sweep: worker counts x dimensions x variants ------------
+
+class StreamEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamEquivalence, SlidingWindow2dMatchesFromScratch) {
+  ScopedThreads threads(GetParam());
+  const auto arrivals = data::ngsim_like(2400, 7);
+  const StreamCounters c = replay_and_check<2>(
+      arrivals, /*window=*/900, /*batch=*/300, Parameters{0.02f, 5}, {});
+  EXPECT_GT(c.inserts, 0);
+  EXPECT_GT(c.expires, 0);
+}
+
+TEST_P(StreamEquivalence, SlidingWindow3dMatchesFromScratch) {
+  ScopedThreads threads(GetParam());
+  const auto arrivals = data::hacc_like(1600, 11);
+  const StreamCounters c = replay_and_check<3>(
+      arrivals, /*window=*/700, /*batch=*/200, Parameters{0.035f, 4}, {});
+  EXPECT_GT(c.inserts, 0);
+  EXPECT_GT(c.expires, 0);
+}
+
+TEST_P(StreamEquivalence, AppendOnlyGrowthMatchesFromScratch) {
+  // No expiry: every insert is absorbed incrementally once the first
+  // query establishes the union-find, so this sweep exercises the
+  // three-pass absorb (count / flip / resolve) at every worker count.
+  ScopedThreads threads(GetParam());
+  const auto arrivals =
+      fdbscan::testing::clustered_points<2>(2000, 6, 1.0f, 0.02f, 21);
+  Parameters params{0.05f, 5};
+  StreamingEngine<2> engine(
+      std::vector<Point2>(arrivals.begin(), arrivals.begin() + 800), params);
+  (void)engine.query();  // establishes incremental state
+  std::vector<Point2> live(arrivals.begin(), arrivals.begin() + 800);
+  std::int64_t cursor = 800;
+  while (cursor < static_cast<std::int64_t>(arrivals.size())) {
+    const std::int64_t k =
+        std::min<std::int64_t>(150, arrivals.size() - cursor);
+    const std::span<const Point2> batch(arrivals.data() + cursor,
+                                        static_cast<std::size_t>(k));
+    (void)engine.insert(batch);
+    live.insert(live.end(), batch.begin(), batch.end());
+    cursor += k;
+    const Clustering streamed = engine.query();
+    expect_equivalent(live, params, Options{}, streamed, "append-only");
+  }
+  EXPECT_GT(engine.counters().incremental_inserts, 0);
+  EXPECT_GT(engine.counters().refinalized_queries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, StreamEquivalence,
+                         ::testing::Values(1, 2, 8));
+
+// --- Variants and parameter edge cases -----------------------------------
+
+TEST(StreamingEngine, DbscanStarVariantMatchesFromScratch) {
+  const auto arrivals = data::porto_taxi_like(1500, 3);
+  Options options;
+  options.variant = Variant::kDbscanStar;
+  (void)replay_and_check<2>(arrivals, 600, 200, Parameters{0.02f, 5},
+                            options);
+}
+
+TEST(StreamingEngine, MinptsOneAllCore) {
+  const auto arrivals =
+      fdbscan::testing::random_points<2>(600, 1.0f, 5);
+  const StreamCounters c = replay_and_check<2>(arrivals, 250, 100,
+                                               Parameters{0.05f, 1}, {});
+  EXPECT_GT(c.queries, 0);
+}
+
+TEST(StreamingEngine, MinptsTwoIncrementalFlips) {
+  // minpts == 2 exercises the no-reprocess flip shortcut: a point that
+  // crosses the threshold owes all its edges to the batch itself.
+  const auto arrivals =
+      fdbscan::testing::clustered_points<2>(1200, 5, 1.0f, 0.02f, 9);
+  const StreamCounters c = replay_and_check<2>(arrivals, 500, 150,
+                                               Parameters{0.04f, 2}, {});
+  EXPECT_GT(c.queries, 0);
+}
+
+TEST(StreamingEngine, EarlyExitDisabledMatches) {
+  const auto arrivals = data::road_network_like(1200, 13);
+  Options options;
+  options.early_exit = false;
+  (void)replay_and_check<2>(arrivals, 500, 150, Parameters{0.02f, 4},
+                            options);
+}
+
+// --- Rebuild amortization ------------------------------------------------
+
+TEST(StreamingEngine, AppendsBelowThresholdNeverRebuild) {
+  const auto points =
+      fdbscan::testing::clustered_points<2>(4000, 6, 1.0f, 0.02f, 17);
+  Parameters params{0.05f, 5};
+  StreamingEngine<2> engine(
+      std::vector<Point2>(points.begin(), points.begin() + 3600), params);
+  Clustering first = engine.query();
+  EXPECT_EQ(first.timings.index_rebuilds, 1);  // the lazy initial build
+  std::int64_t cursor = 3600;
+  while (cursor < 4000) {  // 400 appended points < 25% of 3600
+    const std::span<const Point2> batch(points.data() + cursor, 50);
+    (void)engine.insert(batch);
+    cursor += 50;
+    const Clustering q = engine.query();
+    EXPECT_EQ(q.timings.index_rebuilds, 0) << "cursor " << cursor;
+  }
+  const StreamCounters c = engine.counters();
+  EXPECT_EQ(c.index_rebuilds, 1);
+  EXPECT_EQ(c.incremental_inserts, 8);
+  EXPECT_EQ(c.full_refreshes, 1);
+  EXPECT_EQ(c.refinalized_queries, 8);
+}
+
+TEST(StreamingEngine, CrossingTheThresholdRebuildsOnce) {
+  const auto points =
+      fdbscan::testing::clustered_points<2>(2000, 4, 1.0f, 0.02f, 19);
+  Parameters params{0.05f, 5};
+  StreamConfig config;
+  config.rebuild_fraction = 0.25f;
+  StreamingEngine<2> engine(
+      std::vector<Point2>(points.begin(), points.begin() + 1000), params,
+      Options{}, config);
+  (void)engine.query();
+  // One batch of 400 > 25% of the 1000 live points: rebuild at insert.
+  (void)engine.insert(
+      std::span<const Point2>(points.data() + 1000, 400));
+  EXPECT_EQ(engine.counters().index_rebuilds, 2);
+  const Clustering q = engine.query();
+  EXPECT_EQ(q.timings.index_rebuilds, 1);
+  // The rebuild folded the delta into the base; ids survived, so the
+  // query after a pure-insert rebuild is still a cheap re-finalize.
+  EXPECT_EQ(engine.counters().refinalized_queries, 1);
+  expect_equivalent(
+      std::vector<Point2>(points.begin(), points.begin() + 1400), params,
+      Options{}, q, "post-rebuild");
+}
+
+TEST(StreamingEngine, ExpireInvalidatesIncrementalState) {
+  const auto points =
+      fdbscan::testing::clustered_points<2>(1500, 4, 1.0f, 0.02f, 23);
+  Parameters params{0.05f, 5};
+  StreamingEngine<2> engine(std::vector<Point2>(points), params);
+  (void)engine.query();
+  EXPECT_EQ(engine.expire(100), 100);  // below threshold: lazy, no rebuild
+  EXPECT_EQ(engine.counters().index_rebuilds, 1);
+  EXPECT_EQ(engine.first_live_seq(), 100);
+  const Clustering q = engine.query();
+  expect_equivalent(
+      std::vector<Point2>(points.begin() + 100, points.end()), params,
+      Options{}, q, "post-expire");
+  EXPECT_EQ(engine.counters().full_refreshes, 2);  // expiry forced a refresh
+  // Expiring most of the stream trips the threshold: dead prefix > 25%.
+  (void)engine.expire(1200);
+  EXPECT_EQ(engine.counters().index_rebuilds, 2);
+  EXPECT_EQ(engine.size(), 300);
+  expect_equivalent(
+      std::vector<Point2>(points.begin() + 1200, points.end()), params,
+      Options{}, engine.query(), "post-rebuild-expire");
+}
+
+// --- Sequence-number bookkeeping -----------------------------------------
+
+TEST(StreamingEngine, SequenceNumbersSurviveRebuilds) {
+  const auto points =
+      fdbscan::testing::random_points<2>(900, 1.0f, 29);
+  StreamingEngine<2> engine(Parameters{0.05f, 3});
+  EXPECT_EQ(engine.next_seq(), 0);
+  EXPECT_EQ(engine.insert(
+                std::span<const Point2>(points.data(), 300)),
+            0);
+  EXPECT_EQ(engine.next_seq(), 300);
+  EXPECT_EQ(engine.expire(250), 250);  // forces a rebuild (dead > 25%)
+  EXPECT_EQ(engine.first_live_seq(), 250);
+  EXPECT_EQ(engine.next_seq(), 300);
+  EXPECT_EQ(engine.insert(
+                std::span<const Point2>(points.data() + 300, 300)),
+            300);
+  EXPECT_EQ(engine.next_seq(), 600);
+  EXPECT_EQ(engine.size(), 350);
+  // Retiring below the live horizon is a no-op.
+  EXPECT_EQ(engine.expire(100), 0);
+  EXPECT_EQ(engine.first_live_seq(), 250);
+}
+
+TEST(StreamingEngine, DrainToEmptyAndRefill) {
+  const auto points =
+      fdbscan::testing::random_points<2>(400, 1.0f, 31);
+  StreamingEngine<2> engine(
+      std::vector<Point2>(points.begin(), points.begin() + 200),
+      Parameters{0.05f, 3});
+  (void)engine.query();
+  EXPECT_EQ(engine.expire(200), 200);
+  EXPECT_EQ(engine.size(), 0);
+  const Clustering empty = engine.query();
+  EXPECT_EQ(empty.labels.size(), 0u);
+  EXPECT_EQ(empty.num_clusters, 0);
+  EXPECT_EQ(engine.insert(std::span<const Point2>(points.data() + 200, 200)),
+            200);
+  EXPECT_EQ(engine.size(), 200);
+  expect_equivalent(
+      std::vector<Point2>(points.begin() + 200, points.end()),
+      Parameters{0.05f, 3}, Options{}, engine.query(), "refill");
+}
+
+// --- Cancellation --------------------------------------------------------
+
+TEST(StreamingEngine, RaisedTokenRejectsMutationsAtEntry) {
+  const auto points =
+      fdbscan::testing::random_points<2>(300, 1.0f, 37);
+  StreamingEngine<2> engine(std::vector<Point2>(points),
+                            Parameters{0.05f, 3});
+  exec::CancelToken token;
+  token.request_cancel(exec::CancelReason::kCancelled);
+  exec::CancelScope scope(token);
+  EXPECT_THROW((void)engine.insert(points), exec::CancelledError);
+  EXPECT_THROW((void)engine.expire(10), exec::CancelledError);
+  EXPECT_THROW((void)engine.query(), exec::CancelledError);
+  EXPECT_EQ(engine.size(), 300);  // logical point set unchanged
+  EXPECT_EQ(engine.first_live_seq(), 0);
+}
+
+TEST(StreamingEngine, CancelledInsertRollsTheBatchBack) {
+  // Raise the token from a second thread while a large batch is being
+  // absorbed. Whichever way the race lands — cancelled mid-absorb or
+  // completed first — the logical point set must be exactly the
+  // pre-insert or post-insert set, and the next query (under a fresh
+  // scope) must match a from-scratch run of whichever it is.
+  const auto points =
+      fdbscan::testing::clustered_points<2>(30000, 6, 1.0f, 0.02f, 41);
+  Parameters params{0.02f, 5};
+  StreamingEngine<2> engine(
+      std::vector<Point2>(points.begin(), points.begin() + 4000), params);
+  (void)engine.query();
+  const std::vector<Point2> batch(points.begin() + 4000, points.end());
+  auto token = std::make_shared<exec::CancelToken>();
+  std::thread canceller([token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token->request_cancel(exec::CancelReason::kCancelled);
+  });
+  bool cancelled = false;
+  {
+    exec::CancelScope scope(*token);
+    try {
+      (void)engine.insert(batch);
+    } catch (const exec::CancelledError&) {
+      cancelled = true;
+    }
+  }
+  canceller.join();
+  const std::int64_t n = engine.size();
+  if (cancelled) {
+    EXPECT_EQ(n, 4000) << "rollback must restore the pre-insert set";
+  } else {
+    EXPECT_EQ(n, 30000);
+  }
+  const std::vector<Point2> live(points.begin(),
+                                 points.begin() + static_cast<std::ptrdiff_t>(n));
+  expect_equivalent(live, params, Options{}, engine.query(),
+                    cancelled ? "rolled-back" : "completed");
+}
+
+}  // namespace
+}  // namespace fdbscan::stream

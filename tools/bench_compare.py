@@ -371,6 +371,74 @@ def gate_obs(doc, path):
     return violations, checked
 
 
+def gate_stream(doc, path):
+    """Single-file gate over the streaming-session contract (DESIGN.md
+    §14), applied to every entry carrying a "stream_equiv_checked"
+    counter (the stream_throughput sliding-window and warm-append
+    entries):
+
+      * stream_equiv_checked > 0 and stream_equiv_failures == 0: every
+        step's query matched a from-scratch run over the live set (with
+        bit-identical core flags — the verdict is worker-count
+        invariant);
+      * stream_rebuilds <= stream_rebuild_bound: the threshold policy
+        amortized BVH construction strictly below one-build-per-batch;
+      * entries carrying warm_queries_checked must check > 0 warm
+        queries and report warm_query_rebuilds == 0: sub-threshold
+        appends are absorbed by the side buffer without any rebuild.
+
+    Zero matching entries is itself a violation — a gate that never
+    fires is indistinguishable from a broken one."""
+    violations = []
+    checked = 0
+    warm_entries = 0
+    for e in doc["entries"]:
+        if e.get("error") or "stream_equiv_checked" not in e["counters"]:
+            continue
+        checked += 1
+        name, counters = e["name"], e["counters"]
+        if counters["stream_equiv_checked"] <= 0:
+            violations.append(
+                f"{name}: stream_equiv_checked="
+                f"{counters['stream_equiv_checked']:g} — the equivalence "
+                "sweep checked no queries")
+        if counters.get("stream_equiv_failures", -1) != 0:
+            violations.append(
+                f"{name}: stream_equiv_failures="
+                f"{counters.get('stream_equiv_failures')!r} — a streamed "
+                "query diverged from the from-scratch reference")
+        if "stream_rebuild_bound" in counters:
+            rebuilds = counters.get("stream_rebuilds", float("inf"))
+            bound = counters["stream_rebuild_bound"]
+            if rebuilds > bound:
+                violations.append(
+                    f"{name}: stream_rebuilds={rebuilds:g} exceeds the "
+                    f"amortization bound {bound:g} — the threshold policy "
+                    "degenerated to (or past) one build per batch")
+        if "warm_queries_checked" in counters:
+            warm_entries += 1
+            if counters["warm_queries_checked"] <= 0:
+                violations.append(
+                    f"{name}: warm_queries_checked="
+                    f"{counters['warm_queries_checked']:g} — the "
+                    "zero-rebuild claim was not exercised")
+            if counters.get("warm_query_rebuilds", -1) != 0:
+                violations.append(
+                    f"{name}: warm_query_rebuilds="
+                    f"{counters.get('warm_query_rebuilds')!r} — a "
+                    "sub-threshold append triggered a rebuild")
+    if checked == 0:
+        violations.append(
+            f"{path}: no entries carry a stream_equiv_checked counter — "
+            "the stream gate is vacuous (did stream_throughput drop its "
+            "entries?)")
+    elif warm_entries == 0:
+        violations.append(
+            f"{path}: no entries carry a warm_queries_checked counter — "
+            "the zero-rebuild amortization claim went unchecked")
+    return violations, checked
+
+
 def gate_simd(scalar_doc, simd_doc):
     """Two-file gate: the vectorized backend must not lose to the scalar
     one on the traversal-dominated phases. Over name-matched, non-errored
@@ -514,6 +582,11 @@ def main(argv):
                              "both a service and an obs block agree "
                              "bit-equal on their shared keys (the obs "
                              "registry mirror, DESIGN.md §13)")
+    parser.add_argument("--gate-stream", action="store_true",
+                        help="single-file mode: check the streaming-"
+                             "session contract over entries carrying a "
+                             "stream_equiv_checked counter (DESIGN.md "
+                             "§14)")
     parser.add_argument("--gate-simd", action="store_true",
                         help="two-file mode (SCALAR.json SIMD.json): the "
                              "SIMD run's summed traversal-phase wall over "
@@ -604,6 +677,21 @@ def main(argv):
                 return 1
             print("ok: obs registry mirror matches service metrics "
                   "bit-equal on all shared keys")
+            return 0
+        if args.gate_stream:
+            violations = []
+            for path in args.files:
+                file_violations, checked = gate_stream(load(path), path)
+                violations.extend(file_violations)
+                print(f"{path}: {checked} stream entries checked")
+            for v in violations:
+                print(f"FAIL: {v}", file=sys.stderr)
+            if violations:
+                return 1
+            print("ok: stream contract holds (every streamed query "
+                  "matches a from-scratch run over the live set, rebuilds "
+                  "amortized below one per batch, warm appends rebuild "
+                  "nothing)")
             return 0
         if args.gate_simd:
             if len(args.files) != 2:
