@@ -421,6 +421,12 @@ ServiceResult ClusterService::run_request(Request& req) {
       SessionTurn turn(req.session, req.ticket);
       exec::throw_if_cancelled();  // raised while queued: skip all work
       if (s.failed) return s.open_error;
+      if (s.stream == nullptr) {
+        // Defense in depth (see run_session_mutation): never call
+        // through null even if a failed open somehow left failed unset.
+        return Error{ErrorCode::kInvalidSession,
+                     "session open did not complete"};
+      }
       Clustering result = s.query_fn(s.stream.get());
       session_queries_.fetch_add(1, std::memory_order_relaxed);
       obs_.session_queries.inc();
@@ -468,6 +474,11 @@ SessionResult ClusterService::run_session_mutation(Request& req) {
       s.open_fn = nullptr;  // releases the captured initial points
     } else if (s.failed) {
       return s.open_error;
+    } else if (s.stream == nullptr) {
+      // Defense in depth: the turnstile guarantees the open ran first,
+      // and a failed open sets s.failed — but never call through null.
+      return Error{ErrorCode::kInvalidSession,
+                   "session open did not complete"};
     } else if (req.op == Op::kSessionAppend) {
       if (auto error = s.batch_scan_fn(req.payload.get())) {
         return *std::move(error);
@@ -488,12 +499,26 @@ SessionResult ClusterService::run_session_mutation(Request& req) {
   } catch (const exec::CancelledError& e) {
     const bool deadline =
         e.reason() == exec::CancelReason::kDeadlineExceeded;
-    return Error{deadline ? ErrorCode::kDeadlineExceeded
-                          : ErrorCode::kCancelled,
-                 e.what()};
+    Error error{deadline ? ErrorCode::kDeadlineExceeded
+                         : ErrorCode::kCancelled,
+                e.what()};
+    // An open that unwinds (cancelled while queued, deadline mid-open,
+    // engine construction throwing) leaves the session's stream and
+    // function pointers null — poison it so later ops return this error
+    // instead of calling through null.
+    if (req.op == Op::kSessionOpen) {
+      s.failed = true;
+      s.open_error = error;
+    }
+    return error;
   } catch (const std::exception& e) {
-    return Error{ErrorCode::kInternal,
-                 std::string("dispatcher caught: ") + e.what()};
+    Error error{ErrorCode::kInternal,
+                std::string("dispatcher caught: ") + e.what()};
+    if (req.op == Op::kSessionOpen) {
+      s.failed = true;
+      s.open_error = error;
+    }
+    return error;
   }
 }
 

@@ -467,6 +467,13 @@ class ClusterService {
   /// open_session(); destroying it (or calling close()) closes the
   /// session — already-enqueued operations still run to completion, new
   /// ones reject with kInvalidSession.
+  ///
+  /// Lifetime: the handle holds a raw pointer to its ClusterService, so
+  /// it must not outlive the service that created it — close() or
+  /// destroy every handle before destroying the service. The service
+  /// destructor drains queued session ops and releases the session
+  /// table, but it cannot reach outstanding handles; a handle destroyed
+  /// after its service calls close_session on a dangling pointer.
   class Session {
    public:
     Session() = default;

@@ -168,8 +168,6 @@ class StreamingEngine {
     const std::int64_t first = next_seq();
     const auto k = static_cast<std::int64_t>(points.size());
     if (k == 0) return first;
-    ++counters_.inserts;
-    counters_.points_inserted += k;
     const std::int64_t old_nd = delta_n();
     const std::int64_t n_old = size();
     append_to_delta(points);
@@ -189,6 +187,10 @@ class StreamingEngine {
         throw;
       }
     }
+    // Count the insert only once the batch has logically taken effect —
+    // a rolled-back (cancelled) absorb must not inflate StreamCounters.
+    ++counters_.inserts;
+    counters_.points_inserted += k;
     maybe_rebuild();
     return first;
   }
@@ -269,7 +271,12 @@ class StreamingEngine {
         timer.lap("stream/finalize", &timings.finalization_profile);
     result.timings = timings;
     result.timings.index_rebuilds = take_rebuilds_since_last_query();
-    const TraversalStats total = work.combine();
+    // Probes done by incremental inserts since the previous query count
+    // toward this query's stats: a refinalized query's answer embodies
+    // that traversal work.
+    TraversalStats total = work.combine();
+    total += pending_insert_stats_;
+    pending_insert_stats_ = {};
     result.distance_computations = total.leaves_tested;
     result.index_nodes_visited = total.nodes_visited;
     if (options_.memory) result.peak_memory_bytes = options_.memory->peak();
@@ -466,9 +473,11 @@ class StreamingEngine {
   /// Folds the freshly appended batch (logical ids [n_old, n_old + k))
   /// into the valid union-find. Three passes so every edge is resolved
   /// with the *post-batch* core flags, like a from-scratch run:
-  /// count, flip, resolve.
+  /// count, flip, resolve. Probe work lands in pending_insert_stats_,
+  /// which the next query() folds into its reported traversal stats.
   void absorb_batch(std::int64_t n_old, std::int64_t k) {
     ensure_base_bvh();
+    exec::PerThread<TraversalStats> work;
     const float eps2 = params_.eps * params_.eps;
     const std::int64_t n_new = n_old + k;
     counts_.resize(static_cast<std::size_t>(n_new), 0);
@@ -506,6 +515,7 @@ class StreamingEngine {
             });
         counts_[static_cast<std::size_t>(q)] = count;
         stats.leaves_tested += scans;
+        work.local() += stats;
       });
       // Pass 2: core flags with the post-batch counts.
       for (std::int64_t j = 0; j < k; ++j) {
@@ -543,7 +553,9 @@ class StreamingEngine {
             }
           });
       stats.leaves_tested += scans;
+      work.local() += stats;
     });
+    pending_insert_stats_ += work.combine();
   }
 
   // ---- rebuild ------------------------------------------------------------
@@ -633,6 +645,9 @@ class StreamingEngine {
   std::vector<std::int32_t> counts_;    // saturating |N_eps|
   std::vector<std::uint8_t> is_core_;
   bool uf_valid_ = false;
+  /// Probe work of incremental inserts since the last query; folded
+  /// into (and cleared by) the next query's reported traversal stats.
+  TraversalStats pending_insert_stats_{};
 
   std::int64_t retired_index_builds_ = 0;  // builds of replaced engines
   std::int64_t index_builds_at_last_query_ = 0;

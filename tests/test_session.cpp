@@ -455,6 +455,34 @@ TEST(Session, FailedOpenSurfacesOnEveryLaterOp) {
   session.close();
 }
 
+TEST(Session, CancelledOpenPoisonsTheSessionForEveryLaterOp) {
+  // The spec's token governs the open op; pre-raising it makes the open
+  // unwind by exception on the dispatcher, leaving the session's stream
+  // and accessors null. Every later op must surface the open's error —
+  // not call through the null pointers.
+  ClusterService service(ServiceConfig{.dispatchers = 1});
+  const auto points = std::make_shared<const std::vector<Point2>>(
+      fdbscan::testing::random_points<2>(400, 1.0f, 61));
+  auto token = std::make_shared<CancelToken>();
+  token->request_cancel(exec::CancelReason::kCancelled);
+  RequestSpec spec;
+  spec.params = Parameters{0.05f, 3};
+  spec.token = token;
+  auto opened = service.open_session<2>("poisoned", points, spec);
+  ASSERT_TRUE(opened.has_value());  // failure surfaces asynchronously
+  ClusterService::Session session = std::move(*opened);
+  const SessionResult a = session.append<2>(points).get();
+  ASSERT_FALSE(a.has_value());
+  EXPECT_EQ(a.error().code, ErrorCode::kCancelled);
+  const SessionResult e = session.expire(100).get();
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, ErrorCode::kCancelled);
+  const ServiceResult q = session.query().get();
+  ASSERT_FALSE(q.has_value());
+  EXPECT_EQ(q.error().code, ErrorCode::kCancelled);
+  session.close();
+}
+
 TEST(Session, NonFiniteBatchIsRejectedWithoutMutating) {
   ClusterService service(ServiceConfig{.dispatchers = 1});
   const auto points = std::make_shared<const std::vector<Point2>>(

@@ -207,6 +207,8 @@ TEST(StreamingEngine, CrossingTheThresholdRebuildsOnce) {
   // The rebuild folded the delta into the base; ids survived, so the
   // query after a pure-insert rebuild is still a cheap re-finalize.
   EXPECT_EQ(engine.counters().refinalized_queries, 1);
+  // A refinalized query reports the probe work of the inserts it serves.
+  EXPECT_GT(q.distance_computations, 0);
   expect_equivalent(
       std::vector<Point2>(points.begin(), points.begin() + 1400), params,
       Options{}, q, "post-rebuild");
@@ -325,10 +327,17 @@ TEST(StreamingEngine, CancelledInsertRollsTheBatchBack) {
   }
   canceller.join();
   const std::int64_t n = engine.size();
+  const StreamCounters c = engine.counters();
   if (cancelled) {
     EXPECT_EQ(n, 4000) << "rollback must restore the pre-insert set";
+    // A rolled-back insert is not part of the logical stream and must
+    // not be counted.
+    EXPECT_EQ(c.inserts, 0);
+    EXPECT_EQ(c.points_inserted, 0);
   } else {
     EXPECT_EQ(n, 30000);
+    EXPECT_EQ(c.inserts, 1);
+    EXPECT_EQ(c.points_inserted, 26000);
   }
   const std::vector<Point2> live(points.begin(),
                                  points.begin() + static_cast<std::ptrdiff_t>(n));
