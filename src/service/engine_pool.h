@@ -7,10 +7,13 @@
 //
 // Concurrency rules:
 //   * An Engine supports one run at a time (engine.h). The pool enforces
-//     this with a per-entry run mutex: acquire() returns a Lease that
-//     holds the lock, so concurrent requests against one dataset
-//     serialize on the warm engine instead of each building a cold one.
-//     Requests against distinct datasets run fully in parallel.
+//     this with a per-entry cv-guarded running flag: acquire() returns a
+//     Lease that holds the flag, so concurrent requests against one
+//     dataset serialize on the warm engine instead of each building a
+//     cold one. Requests against distinct datasets run fully in
+//     parallel. The flag (not a held mutex) lets a lease acquired on a
+//     service dispatcher be released by the graph runner that finishes
+//     the request's task graph.
 //   * Eviction is LRU over entries with no lease and no pin outstanding.
 //     An entry that is leased or pinned is never destroyed under the
 //     caller — the pool may temporarily exceed its capacity when every
@@ -24,6 +27,7 @@
 // without knowing the concrete Engine<DIM>.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -85,7 +89,13 @@ class EnginePool {
     int dim = 0;
     std::shared_ptr<void> engine;  // keeps the points alive via its holder
     EngineCounters (*counters)(const void*) = nullptr;
-    std::mutex run_mutex;  // one run at a time per engine
+    // One run at a time per engine. A cv-guarded flag rather than a held
+    // mutex: a graph-mode request acquires its lease on a dispatcher but
+    // releases it from the scheduler runner that finishes the graph, and
+    // a std::mutex must be unlocked by its locking thread.
+    std::mutex run_mutex;
+    std::condition_variable run_cv;
+    bool running = false;
     bool validated = false;  // O(n) coordinate scan done for these points
     int active = 0;          // leases outstanding (guarded by pool mutex_)
     int pins = 0;            // long-lived Pins outstanding (guarded by mutex_)
@@ -106,20 +116,31 @@ class EnginePool {
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
 
-  /// Exclusive use of one dataset's engine: holds the entry's run mutex
-  /// (and a liveness reference) until destruction.
+  /// Exclusive use of one dataset's engine: holds the entry's running
+  /// flag (and a liveness reference) until destruction. Unlike a held
+  /// mutex, the flag may be released by a different thread than acquired
+  /// it — graph-mode requests destroy their lease from the scheduler
+  /// runner that completes the graph, not the dispatcher that staged it.
   class Lease {
    public:
     Lease() = default;
     Lease(std::shared_ptr<Entry> entry, EnginePool* pool)
-        : entry_(std::move(entry)), pool_(pool), lock_(entry_->run_mutex) {}
+        : entry_(std::move(entry)), pool_(pool) {
+      std::unique_lock<std::mutex> lock(entry_->run_mutex);
+      entry_->run_cv.wait(lock, [&] { return !entry_->running; });
+      entry_->running = true;
+    }
     Lease(Lease&&) = default;
     // No move-assign: overwriting a live lease would skip its active-count
     // release. Construct fresh leases instead.
     Lease& operator=(Lease&&) = delete;
     ~Lease() {
       if (entry_ && pool_) {
-        lock_.unlock();
+        {
+          std::lock_guard<std::mutex> lock(entry_->run_mutex);
+          entry_->running = false;
+        }
+        entry_->run_cv.notify_one();
         std::lock_guard<std::mutex> guard(pool_->mutex_);
         --entry_->active;
       }
@@ -136,7 +157,6 @@ class EnginePool {
    private:
     std::shared_ptr<Entry> entry_;
     EnginePool* pool_ = nullptr;
-    std::unique_lock<std::mutex> lock_;
   };
 
   /// Long-lived residency reference (DESIGN.md §14): unlike a Lease, a
@@ -213,10 +233,11 @@ class EnginePool {
     return s;
   }
 
-  /// Per-dataset counters for resident engines, sorted by id. Takes each
-  /// entry's run mutex (EngineCounters is mutated by runs), so this
-  /// briefly serializes against in-flight runs — call from telemetry
-  /// paths, ideally after the service is idle.
+  /// Per-dataset counters for resident engines, sorted by id. Waits for
+  /// each entry's running flag to clear (EngineCounters is mutated by
+  /// runs) and holds it while reading, so this briefly serializes
+  /// against in-flight runs — call from telemetry paths, ideally after
+  /// the service is idle.
   [[nodiscard]] std::vector<DatasetStats> dataset_stats() {
     std::vector<std::shared_ptr<Entry>> snapshot;
     {
@@ -227,8 +248,10 @@ class EnginePool {
     std::vector<DatasetStats> out;
     out.reserve(snapshot.size());
     for (const auto& entry : snapshot) {
-      std::lock_guard<std::mutex> run_guard(entry->run_mutex);
+      std::unique_lock<std::mutex> run_lock(entry->run_mutex);
+      entry->run_cv.wait(run_lock, [&] { return !entry->running; });
       const EngineCounters c = entry->counters(entry->engine.get());
+      run_lock.unlock();
       out.push_back(DatasetStats{entry->id, entry->dim, c.runs,
                                  c.index_builds, c.grid_cache_hits,
                                  c.sharded_evictions});

@@ -143,7 +143,8 @@ ClusterService::ClusterService(const ServiceConfig& config)
                   {"dispatchers", config_.dispatchers},
                   {"engine_capacity", config_.engine_capacity},
                   {"shards", config_.shards},
-                  {"session_capacity", config_.session_capacity}});
+                  {"session_capacity", config_.session_capacity},
+                  {"graph", config_.graph ? 1 : 0}});
 }
 
 ClusterService::~ClusterService() {
@@ -154,12 +155,22 @@ ClusterService::~ClusterService() {
     leftover.swap(queue_);
   }
   cv_queue_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  // Graph-dispatched requests may still be in flight on the scheduler's
+  // runners after the dispatchers are gone; their completions touch this
+  // service (counters, queue mutex, promises). active_ covers them until
+  // complete_graph runs, so waiting for zero here is the async drain.
+  // The watchdog stays up until then — in-flight graphs keep their
+  // deadline enforcement through shutdown.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    cv_idle_.wait(lock, [&] { return active_ == 0; });
+  }
   {
     std::lock_guard<std::mutex> lock(wd_mutex_);
     wd_stop_ = true;
   }
   wd_cv_.notify_all();
-  for (std::thread& t : dispatchers_) t.join();
   if (watchdog_.joinable()) watchdog_.join();
   // Requests still queued at shutdown never ran; their futures must not
   // dangle. They resolve to kCancelled after the dispatchers are gone.
@@ -308,8 +319,10 @@ void ClusterService::dispatcher_loop(int index) {
       obs_.queued.add(-1);
       obs_.active.add(1);
     }
-    process(*req, track_floor_ns);
-    {
+    const bool deferred = process(*req, track_floor_ns);
+    // A deferred request is still active: the graph scheduler owns it
+    // now, and complete_graph performs this decrement when it resolves.
+    if (!deferred) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --active_;
       obs_.active.add(-1);
@@ -318,7 +331,7 @@ void ClusterService::dispatcher_loop(int index) {
   }
 }
 
-void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
+bool ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
   // Request-id context for the whole dispatch: the queue-wait and run
   // spans below, every span/log line emitted inside run_request (engine
   // lease, phase spans, shard waves) and the request_done event all
@@ -334,19 +347,138 @@ void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
                             "service");
   }
 
+  if (config_.graph && req.op == Op::kCluster && req.stage != nullptr) {
+    const bool deferred = process_graph(req, start_ns, wait_ns);
+    track_floor_ns = exec::trace_now_ns();
+    return deferred;
+  }
+
   // Expected<> has no default construction; exactly one of these is
   // engaged per op (kCluster/kSessionQuery produce a Clustering, the
   // session mutations a SessionDelta) and resolves the matching promise.
   std::optional<ServiceResult> result;
   std::optional<SessionResult> delta;
-  const bool wants_clustering =
-      req.op == Op::kCluster || req.op == Op::kSessionQuery;
-  if (wants_clustering) {
+  if (req.op == Op::kCluster || req.op == Op::kSessionQuery) {
     result.emplace(run_request(req));
   } else {
     delta.emplace(run_session_mutation(req));
   }
+  finish_request(req, std::move(result), std::move(delta), start_ns, wait_ns);
+  track_floor_ns = exec::trace_now_ns();
+  return false;
+}
 
+bool ClusterService::process_graph(Request& req, std::int64_t start_ns,
+                                   std::int64_t wait_ns) {
+  // The dispatcher half of a graph dispatch mirrors run_request's
+  // prologue exactly: cancel fast-fail, engine lease, one-time scan —
+  // then stages the run instead of executing it. Failures here resolve
+  // the request immediately (return false: not deferred).
+  auto state = std::make_shared<DeferredRun>();
+  state->start_ns = start_ns;
+  state->wait_ns = wait_ns;
+  try {
+    exec::CancelScope scope(*req.token);
+    exec::throw_if_cancelled();  // raised while queued: skip all work
+    state->lease.emplace(
+        pool_.acquire(req.dataset_id, req.dim, req.make_engine, req.counters));
+    EnginePool::Lease& lease = *state->lease;
+    if (!lease.validated()) {
+      exec::throw_if_cancelled();
+      if (auto error = req.scan(lease.engine())) {
+        finish_request(req, ServiceResult(*std::move(error)), std::nullopt,
+                       start_ns, wait_ns);
+        return false;
+      }
+      lease.set_validated();
+    }
+    exec::graph::TaskGraph g;
+    state->out = req.stage(lease.engine(), g, req.params, req.options,
+                           req.method, req.shards);
+    // Hand the request to the scheduler. submit() captures the ambient
+    // token (req.token, installed by the scope above — it outlives the
+    // run inside state->req) and this thread's request id, so every
+    // node polls the right token and attributes its span to req.id.
+    state->req = std::move(req);
+    const Expected<exec::graph::GraphScheduler::Handle> handle =
+        exec::graph::shared_scheduler().submit(
+            std::move(g),
+            [this, state](const exec::graph::GraphStats&,
+                          std::exception_ptr error) {
+              complete_graph(*state, error);
+            });
+    if (!handle.has_value()) {
+      // Unreachable for staged graphs (they are DAGs by construction);
+      // resolve rather than hang the future if it ever happens.
+      finish_request(state->req,
+                     ServiceResult(Error{ErrorCode::kInternal,
+                                         handle.error().message}),
+                     std::nullopt, start_ns, wait_ns);
+      return false;
+    }
+    return true;
+  } catch (const exec::CancelledError& e) {
+    const bool deadline = e.reason() == exec::CancelReason::kDeadlineExceeded;
+    finish_request(req,
+                   ServiceResult(Error{deadline ? ErrorCode::kDeadlineExceeded
+                                                : ErrorCode::kCancelled,
+                                       e.what()}),
+                   std::nullopt, start_ns, wait_ns);
+    return false;
+  } catch (const std::exception& e) {
+    finish_request(req,
+                   ServiceResult(Error{ErrorCode::kInternal,
+                                       std::string("dispatcher caught: ") +
+                                           e.what()}),
+                   std::nullopt, start_ns, wait_ns);
+    return false;
+  }
+}
+
+void ClusterService::complete_graph(DeferredRun& run,
+                                    std::exception_ptr error) {
+  // Runs on the scheduler runner that finished (or failed) the graph's
+  // last node. Must not throw (GraphScheduler::Completion contract).
+  obs::RequestScope rid_scope(run.req.id);
+  std::optional<ServiceResult> result;
+  if (error == nullptr) {
+    result.emplace(std::move(*run.out));
+  } else {
+    try {
+      std::rethrow_exception(error);
+    } catch (const exec::CancelledError& e) {
+      const bool deadline =
+          e.reason() == exec::CancelReason::kDeadlineExceeded;
+      result.emplace(Error{deadline ? ErrorCode::kDeadlineExceeded
+                                    : ErrorCode::kCancelled,
+                           e.what()});
+    } catch (const std::exception& e) {
+      result.emplace(Error{ErrorCode::kInternal,
+                           std::string("graph runner caught: ") + e.what()});
+    } catch (...) {
+      result.emplace(Error{ErrorCode::kInternal,
+                           "graph runner caught a non-exception throw"});
+    }
+  }
+  // Release the engine before resolving: a caller that waits on the
+  // future and immediately resubmits against the same dataset must find
+  // the lease free (same ordering finish_request keeps for busy tokens).
+  run.lease.reset();
+  finish_request(run.req, std::move(result), std::nullopt, run.start_ns,
+                 run.wait_ns);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    --active_;
+    obs_.active.add(-1);
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void ClusterService::finish_request(Request& req,
+                                    std::optional<ServiceResult> result,
+                                    std::optional<SessionResult> delta,
+                                    std::int64_t start_ns,
+                                    std::int64_t wait_ns) {
   const std::int64_t end_ns = exec::trace_now_ns();
   const std::int64_t run_ns = end_ns - start_ns;
   run_time_.add(run_ns);
@@ -354,7 +486,6 @@ void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
   if (exec::trace_enabled()) {
     exec::trace_record_span("service/run", start_ns, end_ns, "service");
   }
-  track_floor_ns = end_ns;
 
   // The caller token is free for its next request the moment its
   // current one reaches a terminal state — release before resolving the
@@ -398,7 +529,7 @@ void ClusterService::process(Request& req, std::int64_t& track_floor_ns) {
                     {"queue_wait_ms", static_cast<double>(wait_ns) * 1e-6},
                     {"run_ms", static_cast<double>(run_ns) * 1e-6}});
   }
-  if (wants_clustering) {
+  if (result.has_value()) {
     req.promise.set_value(*std::move(result));
   } else {
     req.delta_promise.set_value(*std::move(delta));
@@ -427,7 +558,23 @@ ServiceResult ClusterService::run_request(Request& req) {
         return Error{ErrorCode::kInvalidSession,
                      "session open did not complete"};
       }
-      Clustering result = s.query_fn(s.stream.get());
+      Clustering result;
+      if (config_.graph) {
+        // Session queries keep their synchronous shape (the dispatcher
+        // holds the session's turn), but the query body runs as a graph
+        // node so its work lands on the runner pool with a rid-tagged
+        // node span, interleaving with other requests' phases.
+        exec::graph::TaskGraph g;
+        g.add_node("stream/query",
+                   [&result, &s] { result = s.query_fn(s.stream.get()); });
+        const Expected<exec::graph::GraphStats> done =
+            exec::graph::shared_scheduler().run(std::move(g));
+        if (!done.has_value()) {  // unreachable: single node, no edges
+          return Error{ErrorCode::kInternal, done.error().message};
+        }
+      } else {
+        result = s.query_fn(s.stream.get());
+      }
       session_queries_.fetch_add(1, std::memory_order_relaxed);
       obs_.session_queries.inc();
       note_session_rebuilds(s);
@@ -721,6 +868,16 @@ ServiceMetrics ClusterService::metrics() const {
   m.session_queries = session_queries_.load(std::memory_order_relaxed);
   m.session_rebuilds = session_rebuilds_.load(std::memory_order_relaxed);
   {
+    // Scheduler totals are process-wide (all services share it); see the
+    // ServiceMetrics field docs.
+    const exec::graph::SchedulerTotals g = exec::graph::totals();
+    m.graphs = g.graphs;
+    m.graph_nodes_run = g.nodes_run;
+    m.graph_edges = g.edges;
+    m.graph_ready_depth = g.ready_depth;
+    m.graph_overlap_pct = g.overlap_pct;
+  }
+  {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     m.queued = static_cast<std::int64_t>(queue_.size());
     m.active = active_;
@@ -762,6 +919,9 @@ obs::MetricsSnapshot to_metrics(const ServiceSnapshot& snap) {
   obs::MetricsSnapshot m;
   const ServiceMetrics& sm = snap.metrics;
   m.counters = {
+      {"fdbscan_graph_edges_total", sm.graph_edges},
+      {"fdbscan_graph_graphs_total", sm.graphs},
+      {"fdbscan_graph_nodes_run_total", sm.graph_nodes_run},
       {"fdbscan_pool_evictions_total", snap.pool.evictions},
       {"fdbscan_pool_hits_total", snap.pool.hits},
       {"fdbscan_pool_misses_total", snap.pool.misses},
@@ -778,6 +938,8 @@ obs::MetricsSnapshot to_metrics(const ServiceSnapshot& snap) {
       {"fdbscan_service_submitted_total", sm.submitted},
   };
   m.gauges = {
+      {"fdbscan_graph_overlap_pct", sm.graph_overlap_pct},
+      {"fdbscan_graph_ready_depth", sm.graph_ready_depth},
       {"fdbscan_pool_engines", snap.pool.engines},
       {"fdbscan_service_active_requests", sm.active},
       {"fdbscan_service_queue_depth", sm.queued},
@@ -800,7 +962,7 @@ std::string to_prometheus_text(const ServiceSnapshot& snap) {
       " engine_capacity=" + std::to_string(snap.config.engine_capacity) +
       " shards=" + std::to_string(snap.config.shards) +
       " session_capacity=" + std::to_string(snap.config.session_capacity) +
-      "\n";
+      " graph=" + std::to_string(snap.config.graph ? 1 : 0) + "\n";
   out += obs::to_prometheus_text(to_metrics(snap));
   return out;
 }
@@ -816,6 +978,8 @@ std::string to_json(const ServiceSnapshot& snap) {
   out += std::to_string(snap.config.shards);
   out += ",\"session_capacity\":";
   out += std::to_string(snap.config.session_capacity);
+  out += ",\"graph\":";
+  out += snap.config.graph ? "true" : "false";
   out += "},\"metrics\":";
   out += obs::to_json(to_metrics(snap));
   out += "}";

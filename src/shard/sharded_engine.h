@@ -4,12 +4,15 @@
 // (DESIGN.md §11).
 //
 // A ShardedEngine partitions its dataset into K slabs along the widest
-// domain axis, materializes each shard's eps-halo (ghost copies of every
-// remote point within eps of the slab — exactly the set needed to answer
-// any eps-range query about an owned point locally), and keeps one warm
-// Engine per shard so repeated runs at the same eps rebuild nothing. A
-// run executes three barrier-separated waves, each wave running all K
-// shards *concurrently*: every shard is driven by its own persistent team
+// domain axis, with cut coordinates balanced by point count (quantiles
+// of the sorted axis coordinates) so skewed datasets still get
+// near-equal owned work per shard. It materializes each shard's
+// eps-halo (ghost copies of every remote point within eps of the slab —
+// exactly the set needed to answer any eps-range query about an owned
+// point locally), and keeps one warm Engine per shard so repeated runs
+// at the same eps rebuild nothing. A fork-join run executes three
+// barrier-separated waves, each wave running all K shards
+// *concurrently*: every shard is driven by its own persistent team
 // thread, whose kernel launches are independent top-level launches on the
 // shared pool (the runtime serializes them at whole-kernel granularity —
 // the legal concurrency shape; nothing here nests launches):
@@ -17,8 +20,19 @@
 //   wave 1  per-shard BVH build/reuse         (index_construction)
 //   wave 2  per-shard core determination      (preprocessing)
 //   -- barrier: stands in for the ghost core-flag exchange --
-//   wave 3  per-shard traversal + union-find  (main)
+//   wave 3  per-shard traversal + global union-find  (main)
 //   coordinator: flatten + finalize           (finalization)
+//
+// In graph mode (exec/graph, the default; FDBSCAN_SERVICE_GRAPH=0 falls
+// back to the waves) the same per-shard bodies become task-graph nodes
+// and the barriers become edges: index[r] -> pre[r] -> main[r] chains
+// per shard, with pre[s] -> main[r] for every (s, r) pair standing in
+// for the ghost core-flag exchange (main reads ghost flags other shards
+// wrote). Shard r's traversal can therefore start before shard r+1's
+// build finishes — on the FoF fast path (no pre wave) each shard
+// pipelines fully independently — and nodes of *different* requests
+// interleave on the shared runner pool. The kernel launches are the
+// same set either way, so work counters stay bit-identical.
 //
 // Cross-shard density connections resolve through a single global
 // union-find over a shared label array: each eps-close pair is processed
@@ -39,6 +53,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -56,6 +71,7 @@
 #include "core/clustering.h"
 #include "core/engine.h"
 #include "exec/cancel.h"
+#include "exec/graph/task_graph.h"
 #include "exec/per_thread.h"
 #include "exec/profile.h"
 #include "exec/trace.h"
@@ -262,9 +278,30 @@ class ShardedEngine {
   /// BVHs are cached, so repeated runs at the same eps rebuild nothing.
   /// Note: the pair-once rule replaces the masked-traversal optimization
   /// (it needs global-id order, not leaf order), so
-  /// options.masked_traversal is ignored on this path.
+  /// options.masked_traversal is ignored on this path. Dispatches to the
+  /// task graph or the fork-join waves per the FDBSCAN_SERVICE_GRAPH
+  /// knob; work counters are bit-identical between the two.
   [[nodiscard]] ShardedResult run(const Parameters& params,
                                   const Options& options = {}) {
+    return run(params, options, exec::graph::enabled());
+  }
+
+  /// Same, with the mode picked explicitly (equivalence tests sweep it).
+  [[nodiscard]] ShardedResult run(const Parameters& params,
+                                  const Options& options, bool graph) {
+    if (graph && num_shards_ > 1) {
+      exec::graph::TaskGraph g;
+      auto out = std::make_shared<ShardedResult>();
+      stage(g, params, options, out);
+      const Expected<exec::graph::GraphStats> done =
+          exec::graph::shared_scheduler().run(std::move(g));
+      if (!done.has_value()) {
+        // Unreachable: stage() emits a DAG by construction. Surface it
+        // loudly rather than return a half-written result.
+        throw std::logic_error(done.error().message);
+      }
+      return std::move(*out);
+    }
     const auto n = static_cast<std::int64_t>(points_->size());
     ShardedResult result;
     result.shards.resize(static_cast<std::size_t>(num_shards_));
@@ -434,6 +471,253 @@ class ShardedEngine {
     return result;
   }
 
+  /// Append this run to `g` as dependency-edged per-shard nodes (the
+  /// graph shape in the header comment); the finalize node writes the
+  /// merged result into *out. Returns the finalize node's id so callers
+  /// can chain further work after it. Counts as a run: the cancel
+  /// fast-fail and the eps-plan build happen here on the staging thread,
+  /// exactly where the fork-join path does them before wave 1.
+  exec::graph::NodeId stage(exec::graph::TaskGraph& g,
+                            const Parameters& params, const Options& options,
+                            std::shared_ptr<ShardedResult> out) {
+    const auto n = static_cast<std::int64_t>(points_->size());
+    out->shards.resize(static_cast<std::size_t>(num_shards_));
+    if (n == 0) return g.add_node("shard/finalize", [] {});
+    exec::throw_if_cancelled();
+    ++counters_.runs;
+    detail::shard_metrics().runs.inc();
+
+    auto st = std::make_shared<GraphState>();
+    st->params = params;
+    st->options = options;
+    st->eps2 = params.eps * params.eps;
+    st->n = n;
+    st->ws0 = workspace_.reallocs();
+    st->plan = &ensure_plan(params.eps);
+    st->fof = params.minpts == 2;  // Friends-of-Friends fast path
+    for (const auto& s : st->plan->shards) {
+      if (s.engine && !s.engine->index_built()) ++st->rebuilds;
+    }
+    st->is_core.assign(points_->size(), 0);
+    st->shard_work.resize(static_cast<std::size_t>(num_shards_));
+    st->shard_cross.assign(static_cast<std::size_t>(num_shards_), 0);
+    // Logical wave tally for the dashboards: the graph replaces the wave
+    // barriers with edges but still executes the same two or three waves.
+    detail::shard_metrics().waves.inc(st->fof ? 2 : 3);
+
+    std::vector<exec::graph::NodeId> index_ids(
+        static_cast<std::size_t>(num_shards_), exec::graph::kNoNode);
+    std::vector<exec::graph::NodeId> pre_ids;
+    std::vector<exec::graph::NodeId> main_ids(
+        static_cast<std::size_t>(num_shards_), exec::graph::kNoNode);
+
+    // --- index[r]: per-shard BVH build/reuse (wave 1's body) -------------
+    for (std::int32_t r = 0; r < num_shards_; ++r) {
+      index_ids[static_cast<std::size_t>(r)] = g.add_node(
+          "shard/index[" + std::to_string(r) + "]", [this, st, r] {
+            const std::int64_t t0 = exec::trace_now_ns();
+            Shard& s = st->plan->shards[static_cast<std::size_t>(r)];
+            if (s.engine) (void)s.engine->index();
+            st->index_ns.fetch_add(exec::trace_now_ns() - t0,
+                                   std::memory_order_relaxed);
+          });
+    }
+
+    // --- pre[r]: per-shard core determination (wave 2's body) ------------
+    // Each shard writes only its owned points' flags; main[r] reads ghost
+    // flags other shards wrote, so every pre -> every main edge below is
+    // the ghost core-flag exchange the fork-join barrier stands in for.
+    if (!st->fof) {
+      pre_ids.resize(static_cast<std::size_t>(num_shards_),
+                     exec::graph::kNoNode);
+      for (std::int32_t r = 0; r < num_shards_; ++r) {
+        pre_ids[static_cast<std::size_t>(r)] = g.add_node(
+            "shard/pre[" + std::to_string(r) + "]", [this, st, r] {
+              const std::int64_t t0 = exec::trace_now_ns();
+              Shard& s = st->plan->shards[static_cast<std::size_t>(r)];
+              const Parameters params = st->params;
+              const Options& options = st->options;
+              const float eps2 = st->eps2;
+              auto& is_core = st->is_core;
+              if (s.owned > 0) {
+                if (params.minpts <= 1) {
+                  exec::parallel_for("shard/pre/all-core", s.owned,
+                                     [&](std::int64_t k) {
+                    is_core[static_cast<std::size_t>(
+                        s.ids[static_cast<std::size_t>(k)])] = 1;
+                  });
+                } else {
+                  const Bvh<DIM>& bvh = s.engine->index();
+                  exec::PerThread<TraversalStats> work;
+                  exec::parallel_for("shard/pre/core-count", s.owned,
+                                     [&](std::int64_t k) {
+                    const auto& p =
+                        s.local_points[static_cast<std::size_t>(k)];
+                    std::int32_t count = 0;  // the traversal finds p itself
+                    TraversalStats stats;
+                    bvh.for_each_near(
+                        p, eps2, 0,
+                        [&](std::int32_t, std::int32_t) {
+                          ++count;
+                          return (options.early_exit &&
+                                  count >= params.minpts)
+                                     ? TraversalControl::kTerminate
+                                     : TraversalControl::kContinue;
+                        },
+                        &stats);
+                    if (count >= params.minpts) {
+                      is_core[static_cast<std::size_t>(
+                          s.ids[static_cast<std::size_t>(k)])] = 1;
+                    }
+                    work.local() += stats;
+                  });
+                  st->shard_work[static_cast<std::size_t>(r)] +=
+                      work.combine();
+                }
+              }
+              st->pre_ns.fetch_add(exec::trace_now_ns() - t0,
+                                   std::memory_order_relaxed);
+            });
+        g.add_edge(index_ids[static_cast<std::size_t>(r)],
+                   pre_ids[static_cast<std::size_t>(r)]);
+      }
+    }
+
+    // --- init: global union-find singletons (coordinator work) -----------
+    const exec::graph::NodeId init_id =
+        g.add_node("shard/main/init", [this, st] {
+          st->labels =
+              workspace_.acquire<std::int32_t>(kUnionFind, points_->size());
+          init_singletons(st->labels.data(),
+                          static_cast<std::int32_t>(st->n));
+        });
+
+    // --- main[r]: per-shard traversal + global union-find (wave 3) ------
+    for (std::int32_t r = 0; r < num_shards_; ++r) {
+      main_ids[static_cast<std::size_t>(r)] = g.add_node(
+          "shard/main[" + std::to_string(r) + "]", [this, st, r] {
+            const std::int64_t t0 = exec::trace_now_ns();
+            Shard& s = st->plan->shards[static_cast<std::size_t>(r)];
+            const Options& options = st->options;
+            const float eps2 = st->eps2;
+            const bool fof = st->fof;
+            auto& is_core = st->is_core;
+            if (s.owned > 0) {
+              const Bvh<DIM>& bvh = s.engine->index();
+              UnionFindView uf(st->labels.data(),
+                               static_cast<std::int32_t>(st->n));
+              exec::PerThread<TraversalStats> work;
+              exec::PerThread<std::int64_t> cross;
+              exec::parallel_for("shard/main/traverse-union", s.owned,
+                                 [&](std::int64_t k) {
+                const std::int32_t x = s.ids[static_cast<std::size_t>(k)];
+                const auto& p = s.local_points[static_cast<std::size_t>(k)];
+                std::int64_t local_cross = 0;
+                TraversalStats stats;
+                bvh.for_each_near(
+                    p, eps2, 0,
+                    [&](std::int32_t, std::int32_t local_y) {
+                      const std::int32_t y =
+                          s.ids[static_cast<std::size_t>(local_y)];
+                      if (y > x) {
+                        if (local_y >= s.owned) ++local_cross;  // ghost
+                        if (fof) {
+                          exec::atomic_store_relaxed(
+                              is_core[static_cast<std::size_t>(x)],
+                              std::uint8_t{1});
+                          exec::atomic_store_relaxed(
+                              is_core[static_cast<std::size_t>(y)],
+                              std::uint8_t{1});
+                          uf.merge(x, y);
+                        } else {
+                          fdbscan::detail::resolve_pair(uf, is_core, x, y,
+                                                        options.variant);
+                        }
+                      }
+                      return TraversalControl::kContinue;
+                    },
+                    &stats);
+                work.local() += stats;
+                if (local_cross > 0) cross.local() += local_cross;
+              });
+              st->shard_work[static_cast<std::size_t>(r)] += work.combine();
+              st->shard_cross[static_cast<std::size_t>(r)] = cross.combine();
+            }
+            st->main_ns.fetch_add(exec::trace_now_ns() - t0,
+                                  std::memory_order_relaxed);
+          });
+      g.add_edge(index_ids[static_cast<std::size_t>(r)],
+                 main_ids[static_cast<std::size_t>(r)]);
+      g.add_edge(init_id, main_ids[static_cast<std::size_t>(r)]);
+      for (const exec::graph::NodeId pre : pre_ids) {
+        g.add_edge(pre, main_ids[static_cast<std::size_t>(r)]);
+      }
+    }
+
+    // --- finalize: global flatten + relabel + stats (coordinator) --------
+    const exec::graph::NodeId finalize_id =
+        g.add_node("shard/finalize", [this, st, out] {
+          const std::int64_t t0 = exec::trace_now_ns();
+          flatten(st->labels.data(), static_cast<std::int32_t>(st->n));
+          std::span<std::int32_t> compact =
+              workspace_.acquire<std::int32_t>(kCompact, points_->size());
+          out->clustering = fdbscan::detail::finalize_labels_with_scratch(
+              st->labels.data(), st->n, std::move(st->is_core),
+              compact.data());
+
+          // Phase seconds are per-shard node busy sums — they can exceed
+          // the graph's wall clock when shards overlap (stream-style
+          // accounting). The per-phase kernel profiles need the barrier
+          // snapshots the graph removes, so they stay zero here.
+          PhaseTimings timings;
+          timings.index_construction =
+              static_cast<double>(
+                  st->index_ns.load(std::memory_order_relaxed)) *
+              1e-9;
+          timings.preprocessing =
+              static_cast<double>(st->pre_ns.load(std::memory_order_relaxed)) *
+              1e-9;
+          timings.main =
+              static_cast<double>(
+                  st->main_ns.load(std::memory_order_relaxed)) *
+              1e-9;
+          counters_.index_builds += st->rebuilds;
+          counters_.workspace_reallocs = workspace_.reallocs();
+          timings.engine_run = true;
+          timings.index_rebuilds = st->rebuilds;
+          timings.workspace_reallocs =
+              static_cast<std::int32_t>(workspace_.reallocs() - st->ws0);
+
+          TraversalStats total_work;
+          for (const auto& w : st->shard_work) total_work += w;
+          out->clustering.distance_computations = total_work.leaves_tested;
+          out->clustering.index_nodes_visited = total_work.nodes_visited;
+
+          out->clustering.num_shards = num_shards_;
+          std::int64_t cross_total = 0;
+          for (std::int32_t r = 0; r < num_shards_; ++r) {
+            const Shard& s = st->plan->shards[static_cast<std::size_t>(r)];
+            ShardStats& stats = out->shards[static_cast<std::size_t>(r)];
+            stats.owned = s.owned;
+            stats.ghosts = static_cast<std::int32_t>(s.ids.size()) - s.owned;
+            stats.cross_edges = st->shard_cross[static_cast<std::size_t>(r)];
+            stats.halo_bytes =
+                static_cast<std::int64_t>(stats.ghosts) * kBytesPerGhost;
+            out->clustering.shard_ghosts += stats.ghosts;
+            out->clustering.shard_halo_bytes += stats.halo_bytes;
+            cross_total += stats.cross_edges;
+          }
+          out->clustering.shard_cross_edges = cross_total;
+          timings.finalization =
+              static_cast<double>(exec::trace_now_ns() - t0) * 1e-9;
+          out->clustering.timings = timings;
+        });
+    for (const exec::graph::NodeId main : main_ids) {
+      g.add_edge(main, finalize_id);
+    }
+    return finalize_id;
+  }
+
  private:
   // Workspace slots: global union-find parents + finalization ranks.
   enum Slot : int { kUnionFind = 0, kCompact, kNumSlots };
@@ -468,6 +752,30 @@ class ShardedEngine {
 
   static constexpr std::int32_t kPlanCapacity = 2;
 
+  /// Shared state of one staged (graph-mode) run, owned jointly by the
+  /// run's nodes. The atomics accumulate per-shard node busy time into
+  /// the phase timings — the process-global PhaseProfiler would need the
+  /// barrier snapshots the graph removes. The Plan pointer is stable:
+  /// one run at a time, and plans only leave the cache in ensure_plan,
+  /// which stage() calls before any node is queued.
+  struct GraphState {
+    Parameters params;
+    Options options;
+    float eps2 = 0.0f;
+    std::int64_t n = 0;
+    std::int64_t ws0 = 0;
+    std::int32_t rebuilds = 0;
+    Plan* plan = nullptr;
+    bool fof = false;
+    std::vector<std::uint8_t> is_core;
+    std::vector<TraversalStats> shard_work;
+    std::vector<std::int64_t> shard_cross;
+    std::span<std::int32_t> labels;
+    std::atomic<std::int64_t> index_ns{0};
+    std::atomic<std::int64_t> pre_ns{0};
+    std::atomic<std::int64_t> main_ns{0};
+  };
+
   /// Runs fn(r) for every shard: concurrently on the team when K > 1
   /// (re-installing the coordinator's active token on every member for
   /// the wave), inline when K == 1.
@@ -482,10 +790,16 @@ class ShardedEngine {
     team_->run(body, exec::active_cancel_token());
   }
 
-  /// Eps-independent half of the decomposition: slab axis + owner of
-  /// every point, computed once. Points are split along the widest
-  /// domain axis into K equal slabs; a zero-width domain (all points
-  /// identical along every axis) degenerates to shard 0 owning all.
+  /// Eps-independent half of the decomposition: slab axis, cost-balanced
+  /// cut coordinates, and the owner of every point, computed once. Cuts
+  /// are point-count quantiles along the widest domain axis — shard r
+  /// owns the points whose axis coordinate lands in (cuts[r-1], cuts[r]]
+  /// — so a skewed dataset gets near-equal owned counts per shard where
+  /// equal-width slabs would pile most of the work onto a few of them.
+  /// Coordinate ties all stay in the lowest shard whose cut covers them
+  /// (the cut is inclusive), so heavy duplicates — or n < K — leave some
+  /// shards owning nothing; a zero-width domain (all points identical
+  /// along every axis) degenerates to shard 0 owning all, as before.
   void ensure_decomposition() {
     if (decomposition_valid_) return;
     const auto n = static_cast<std::int64_t>(points_->size());
@@ -497,37 +811,41 @@ class ShardedEngine {
         axis_ = d;
       }
     }
-    const float width = slab_width();
+    std::vector<float> coords(points_->size());
+    exec::parallel_for("shard/plan/axis-gather", n, [&](std::int64_t i) {
+      coords[static_cast<std::size_t>(i)] =
+          (*points_)[static_cast<std::size_t>(i)][axis_];
+    });
+    std::sort(coords.begin(), coords.end());
+    cuts_.assign(static_cast<std::size_t>(num_shards_ - 1), 0.0f);
+    for (std::int32_t r = 0; n > 0 && r + 1 < num_shards_; ++r) {
+      // The coordinate of shard r's last owned rank at perfect balance.
+      // Ranks over the sorted copy are non-decreasing, so cuts are too.
+      const std::int64_t rank = std::clamp<std::int64_t>(
+          (static_cast<std::int64_t>(r) + 1) * n / num_shards_ - 1, 0, n - 1);
+      cuts_[static_cast<std::size_t>(r)] =
+          coords[static_cast<std::size_t>(rank)];
+    }
     owner_.resize(points_->size());
     exec::parallel_for("shard/plan/owner", n, [&](std::int64_t i) {
-      const auto& p = (*points_)[static_cast<std::size_t>(i)];
-      std::int32_t r =
-          width > 0.0f
-              ? static_cast<std::int32_t>((p[axis_] - domain_.min[axis_]) /
-                                          width)
-              : 0;
-      owner_[static_cast<std::size_t>(i)] =
-          std::clamp<std::int32_t>(r, 0, num_shards_ - 1);
+      const float c = (*points_)[static_cast<std::size_t>(i)][axis_];
+      owner_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          std::lower_bound(cuts_.begin(), cuts_.end(), c) - cuts_.begin());
     });
     decomposition_valid_ = true;
   }
 
-  [[nodiscard]] float slab_width() const noexcept {
-    return (domain_.max[axis_] - domain_.min[axis_]) /
-           static_cast<float>(num_shards_);
-  }
-
-  /// Shard r's slab. The last slab's upper face is pinned to the domain
-  /// bound (min + width*K can round below it, which would let an owned
-  /// point sit outside its own box and break the halo invariant).
+  /// Shard r's slab between its balanced cuts. An owned point satisfies
+  /// cuts[r-1] < coord <= cuts[r], so it always lies inside its closed
+  /// box and the halo invariant holds. The last slab's upper face is
+  /// pinned to the exact domain bound (every coordinate above the last
+  /// cut must land inside it — no rounding slack).
   [[nodiscard]] Box<DIM> shard_box(std::int32_t r) const noexcept {
     Box<DIM> box = domain_;
-    const float width = slab_width();
-    box.min[axis_] = domain_.min[axis_] + width * static_cast<float>(r);
+    if (r > 0) box.min[axis_] = cuts_[static_cast<std::size_t>(r - 1)];
     box.max[axis_] = (r + 1 == num_shards_)
                          ? domain_.max[axis_]
-                         : domain_.min[axis_] +
-                               width * static_cast<float>(r + 1);
+                         : cuts_[static_cast<std::size_t>(r)];
     return box;
   }
 
@@ -608,6 +926,7 @@ class ShardedEngine {
   std::uint64_t use_clock_ = 0;
   Box<DIM> domain_ = Box<DIM>::empty();
   int axis_ = 0;
+  std::vector<float> cuts_;  // K-1 non-decreasing slab boundaries
   std::vector<std::int32_t> owner_;
   bool decomposition_valid_ = false;
   ShardedCounters counters_;

@@ -158,14 +158,16 @@ TEST(Sharded, CrossShardClustersAreStitched) {
   EXPECT_GT(result.clustering.shard_halo_bytes, 0);
 }
 
-// More shards than occupied slabs: two blobs at the domain ends leave the
-// middle slabs empty — those shards own nothing, and with a wide-enough
-// eps they still receive ghosts (the all-ghost shard degenerate case).
+// Heavy coordinate duplicates defeat even balanced cuts: two blobs at
+// duplicated axis coordinates collapse the quantiles, ties all stay in
+// the lowest covering shard, and the squeezed-out shards own nothing —
+// yet with a wide-enough eps their zero-width slabs still receive ghosts
+// (the all-ghost shard degenerate case).
 TEST(Sharded, EmptyAndAllGhostShards) {
   std::vector<Point2> points;
   for (int i = 0; i < 30; ++i) {
-    points.push_back({{0.001f * static_cast<float>(i), 0.5f}});
-    points.push_back({{1.0f - 0.001f * static_cast<float>(i), 0.5f}});
+    points.push_back({{0.1f, 0.5f + 0.001f * static_cast<float>(i)}});
+    points.push_back({{0.9f, 0.5f + 0.001f * static_cast<float>(i)}});
   }
   const Parameters params{0.3f, 5};
   ShardedEngine<2> engine(points, 4);
