@@ -294,6 +294,11 @@ class Engine {
       out.distance_computations = total_work.leaves_tested;
       out.index_nodes_visited = total_work.nodes_visited;
       end_run(st->snap, out, st->options);
+      // Release the per-run tracker charge here, not when the StageState
+      // dies with the GraphRun: the caller may destroy its per-request
+      // Options::memory tracker as soon as the result future resolves,
+      // and the deferred release would then touch a dead tracker.
+      st->charge.reset();
       *result = std::move(out);
     }});
     return staged;
@@ -530,6 +535,7 @@ class Engine {
       out.distance_computations = total_work.leaves_tested;
       out.index_nodes_visited = total_work.nodes_visited;
       end_run(st->snap, out, st->options);
+      st->charge.reset();  // see stage(): tracker must be idle once published
       *result = std::move(out);
     }});
     return staged;

@@ -146,7 +146,8 @@ class GraphScheduler {
 
   class Handle {
    public:
-    Handle() = default;
+    // Not default-constructible: wait() requires a live run, and a
+    // handle only ever comes out of submit().
 
     /// Block until the graph drains. Rethrows the first failure
     /// (CancelledError preferred); returns the run's stats otherwise.

@@ -140,7 +140,11 @@ class EnginePool {
           std::lock_guard<std::mutex> lock(entry_->run_mutex);
           entry_->running = false;
         }
-        entry_->run_cv.notify_one();
+        // notify_all, not notify_one: blocked acquirers (Lease ctor) and
+        // dataset_stats() pollers share run_cv. A single wakeup consumed
+        // by a stats poll (which reads and returns without re-notifying)
+        // would strand a dispatcher waiting on the same entry forever.
+        entry_->run_cv.notify_all();
         std::lock_guard<std::mutex> guard(pool_->mutex_);
         --entry_->active;
       }

@@ -377,6 +377,16 @@ bool ClusterService::process_graph(Request& req, std::int64_t start_ns,
   auto state = std::make_shared<DeferredRun>();
   state->start_ns = start_ns;
   state->wait_ns = wait_ns;
+  // Tracks which Request object is live: `req` until it is moved into
+  // the deferred state (which must happen before submit — a fast graph
+  // could complete, and complete_graph read state->req, before this
+  // thread regains control), state->req after. submit() can throw
+  // (bad_alloc building the run; std::system_error lazily constructing
+  // shared_scheduler's runner threads happens before anything is
+  // enqueued, so no completion can race these handlers) — the catch
+  // blocks must resolve whichever object still owns the promise, never
+  // the moved-from shell.
+  Request* live_req = &req;
   try {
     exec::CancelScope scope(*req.token);
     exec::throw_if_cancelled();  // raised while queued: skip all work
@@ -400,6 +410,7 @@ bool ClusterService::process_graph(Request& req, std::int64_t start_ns,
     // run inside state->req) and this thread's request id, so every
     // node polls the right token and attributes its span to req.id.
     state->req = std::move(req);
+    live_req = &state->req;
     const Expected<exec::graph::GraphScheduler::Handle> handle =
         exec::graph::shared_scheduler().submit(
             std::move(g),
@@ -419,14 +430,14 @@ bool ClusterService::process_graph(Request& req, std::int64_t start_ns,
     return true;
   } catch (const exec::CancelledError& e) {
     const bool deadline = e.reason() == exec::CancelReason::kDeadlineExceeded;
-    finish_request(req,
+    finish_request(*live_req,
                    ServiceResult(Error{deadline ? ErrorCode::kDeadlineExceeded
                                                 : ErrorCode::kCancelled,
                                        e.what()}),
                    std::nullopt, start_ns, wait_ns);
     return false;
   } catch (const std::exception& e) {
-    finish_request(req,
+    finish_request(*live_req,
                    ServiceResult(Error{ErrorCode::kInternal,
                                        std::string("dispatcher caught: ") +
                                            e.what()}),
